@@ -1,0 +1,71 @@
+// Command dtlsim regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	dtlsim -list
+//	dtlsim -exp fig12            # one experiment, full scale
+//	dtlsim -exp all -quick       # everything, reduced scale
+//	dtlsim -exp fig14 -seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dtl/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (fig1..fig15, table2..table6, amat) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced-scale run for smoke testing")
+		seed    = flag.Int64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list available experiments")
+		jsonOut = flag.Bool("json", false, "emit results as JSON (suppresses tables)")
+		csvDir  = flag.String("csv", "", "directory for plot-ready CSV series (fig1/fig9/fig12/fig14)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	var out io.Writer = os.Stdout
+	if *jsonOut {
+		out = io.Discard
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Out: out, CSVDir: *csvDir}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = nil
+		for _, r := range experiments.All() {
+			ids = append(ids, r.ID)
+		}
+	}
+	var results []experiments.Result
+	for _, id := range ids {
+		r, ok := experiments.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dtlsim: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		results = append(results, r.Run(opts))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "dtlsim:", err)
+			os.Exit(1)
+		}
+	}
+}

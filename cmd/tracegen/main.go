@@ -1,0 +1,97 @@
+// Command tracegen emits synthetic CloudSuite-like post-cache memory access
+// traces as CSV (address,write,instr), for inspection or for feeding other
+// tools.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -workload graph-analytics -n 100000 > trace.csv
+//	tracegen -mix data-serving,web-search -n 100000 -footprint 4096
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dtl/internal/trace"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "single workload profile name")
+		mix       = flag.String("mix", "", "comma-separated profiles to mix")
+		n         = flag.Int("n", 100000, "number of accesses to emit")
+		footprint = flag.Int64("footprint", 2048, "per-workload footprint in MiB")
+		seed      = flag.Int64("seed", 1, "random seed")
+		list      = flag.Bool("list", false, "list available workload profiles")
+		stats     = flag.Bool("stats", false, "print stride distribution instead of the trace")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range trace.CloudSuite() {
+			fmt.Printf("%-20s MAPKI %.1f\n", p.Name, p.MAPKI)
+		}
+		return
+	}
+
+	var next func() trace.Access
+	switch {
+	case *workload != "":
+		p, err := trace.ProfileByName(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		p.FootprintBytes = *footprint << 20
+		g, err := trace.NewGenerator(p, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		next = g.Next
+	case *mix != "":
+		var profiles []trace.Profile
+		for _, name := range strings.Split(*mix, ",") {
+			p, err := trace.ProfileByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			p.FootprintBytes = *footprint << 20
+			profiles = append(profiles, p)
+		}
+		m, err := trace.NewMixed(profiles, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		next = m.Next
+	default:
+		fatal(fmt.Errorf("tracegen: need -workload or -mix (or -list)"))
+	}
+
+	if *stats {
+		dist := trace.StrideDistribution(next, *n)
+		for i, label := range trace.StrideBucketLabels() {
+			fmt.Printf("%-8s %.2f%%\n", label, 100*dist[i])
+		}
+		return
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, "addr,write,instr")
+	for i := 0; i < *n; i++ {
+		a := next()
+		wr := 0
+		if a.Write {
+			wr = 1
+		}
+		fmt.Fprintf(w, "%d,%d,%d\n", a.Addr, wr, a.Instr)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command vmsched generates an Azure-like VM population, schedules it on a
+// server, and prints the placement events and utilization timeline (the
+// Figure 1 substrate).
+//
+// Usage:
+//
+//	vmsched                      # 400 VMs, 48 vCPU / 384 GB, 6 hours
+//	vmsched -vms 100 -seed 7
+//	vmsched -events              # also dump placement/departure events
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+	"dtl/internal/vmtrace"
+)
+
+func main() {
+	var (
+		numVMs = flag.Int("vms", 400, "number of VMs to generate")
+		seed   = flag.Int64("seed", 1, "random seed")
+		events = flag.Bool("events", false, "dump the event list")
+	)
+	flag.Parse()
+
+	cfg := vmtrace.DefaultGenConfig()
+	cfg.NumVMs = *numVMs
+	cfg.Seed = *seed
+	vms := vmtrace.Generate(cfg)
+	srv := vmtrace.DefaultServer()
+	evs, snaps, err := vmtrace.Schedule(vms, srv, cfg.Horizon)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	if *events {
+		for _, ev := range evs {
+			kind := "place "
+			if ev.Depart {
+				kind = "depart"
+			}
+			fmt.Printf("%10v %s vm%-4d %2d vCPU %8s %s\n",
+				ev.At, kind, ev.VM.ID, ev.VM.VCPUs,
+				dram.FormatBytes(ev.VM.MemBytes), ev.VM.Workload)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("time        VMs  vCPUs  memory      util")
+	for i, s := range snaps {
+		if i%6 != 0 {
+			continue
+		}
+		fmt.Printf("%10v  %3d  %2d/%2d  %10s  %4.1f%%\n",
+			s.At, s.ActiveVMs, s.UsedVCPUs, srv.VCPUs,
+			dram.FormatBytes(s.UsedMem),
+			100*float64(s.UsedMem)/float64(srv.MemBytes))
+	}
+	fmt.Printf("\nmean memory utilization %.1f%%, peak %.1f%% (%d snapshots over %v)\n",
+		100*vmtrace.MeanMemUtilization(snaps, srv),
+		100*vmtrace.PeakMemUtilization(snaps, srv),
+		len(snaps), sim.Time(cfg.Horizon))
+}

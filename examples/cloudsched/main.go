@@ -1,0 +1,79 @@
+// Cloudsched drives the paper's headline scenario end to end: an Azure-like
+// VM population scheduled onto a 384 GiB CXL memory device for six hours,
+// with DTL's rank-level power-down consolidating unallocated capacity at
+// every VM deallocation. It prints the power timeline and the energy saved
+// versus an always-on baseline (the Figure 12 experiment, via the public
+// API).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtl"
+	"dtl/internal/core"
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+	"dtl/internal/vmtrace"
+)
+
+func main() {
+	geom := dtl.Geometry{
+		Channels:        4,
+		RanksPerChannel: 8,
+		BanksPerRank:    16,
+		SegmentBytes:    2 << 20,
+		RankBytes:       12 << 30, // 384 GiB total
+	}
+	dev, err := dtl.Open(dtl.WithConfig(core.DefaultConfig(geom)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := vmtrace.DefaultGenConfig()
+	cfg.NumVMs = 200
+	vms := vmtrace.Generate(cfg)
+	srv := vmtrace.Server{VCPUs: 48, MemBytes: geom.TotalBytes()}
+	events, _, err := vmtrace.Schedule(vms, srv, cfg.Horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheduling %d VMs over %v on %s\n\n", len(vms), cfg.Horizon, dram.FormatBytes(srv.MemBytes))
+	fmt.Println("time      liveVMs  allocated   active-ranks/ch  background-power")
+
+	baselineBG := float64(geom.TotalRanks()) // all ranks standby
+	var techEnergy, baseEnergy float64
+	var lastT dtl.Time
+
+	ei := 0
+	for t := sim.Time(0); t <= cfg.Horizon; t += vmtrace.Interval {
+		for ei < len(events) && events[ei].At <= t {
+			ev := events[ei]
+			ei++
+			if ev.Depart {
+				if err := dev.DeallocateVM(dtl.VMID(ev.VM.ID), t); err != nil {
+					log.Fatal(err)
+				}
+			} else if _, err := dev.AllocateVM(dtl.VMID(ev.VM.ID), dtl.HostID(ev.VM.ID%16), ev.VM.MemBytes, t); err != nil {
+				log.Fatal(err)
+			}
+		}
+		snap := dev.PowerSnapshot(t)
+		span := float64(t - lastT)
+		techEnergy += snap.BackgroundPower * span
+		baseEnergy += baselineBG * span
+		lastT = t
+		if t%(30*sim.Minute) == 0 {
+			fmt.Printf("%7v  %7d  %10s  %15d  %15.1f\n",
+				t, dev.LiveVMs(), dram.FormatBytes(dev.AllocatedBytes()),
+				snap.ActiveRanksPerChannel, snap.BackgroundPower)
+		}
+	}
+
+	saving := 1 - techEnergy/baseEnergy
+	st := dev.Stats()
+	fmt.Printf("\nbackground energy saving vs always-on: %.1f%%\n", 100*saving)
+	fmt.Printf("power-down events: %d, reactivations: %d, migrated: %s\n",
+		st.PowerDownEvents, st.ReactivateEvents, dram.FormatBytes(st.BytesMigrated))
+}

@@ -1,0 +1,3 @@
+module dtl
+
+go 1.22

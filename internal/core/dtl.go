@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+
+	"dtl/internal/dram"
+	"dtl/internal/memctrl"
+	"dtl/internal/sim"
+)
+
+// VMID identifies a virtual machine instance across hosts.
+type VMID int
+
+// HostID identifies a compute host sharing the CXL device.
+type HostID int
+
+// dsnFree marks an unmapped physical segment in the reverse mapping table.
+const dsnFree dram.HSN = -1
+
+// DTL is the DRAM Translation Layer: the in-CXL-controller indirection
+// between host physical addresses and DRAM device physical addresses, plus
+// the two power-management engines built on it.
+//
+// DTL is single-threaded and driven by a trace replay loop that presents
+// accesses in nondecreasing time order; this mirrors the hardware, where
+// the translation pipeline is a single in-order datapath per device.
+type DTL struct {
+	cfg   Config
+	dev   *dram.Device
+	ctrl  *memctrl.Controller
+	codec *dram.AddressCodec
+	smc   *smc
+
+	// segMap is the DRAM-resident segment mapping table: HSN → DSN for
+	// every allocated host segment (Fig. 4). Sparse map keyed by HSN.
+	segMap map[dram.HSN]dram.DSN
+	// revMap is the reverse mapping table: DSN → HSN (dsnFree when the
+	// physical segment is unallocated), used to update segMap after
+	// migration (§4.2).
+	revMap []dram.HSN
+
+	// free holds the free segment queues, one per global rank (§4.2);
+	// allocated counts track per-rank utilization for victim selection.
+	free      [][]dram.DSN
+	allocated []int64 // live segments per global rank
+
+	// vms tracks each VM's allocation so deallocation can return exactly
+	// the segments it received.
+	vms map[VMID]*vmState
+	// auFree is the pool of unassigned allocation-unit slots per host
+	// (the free AU queue of Table 5).
+	auFree [][]int64
+
+	// poweredDown is the stack of virtual rank groups currently in MPSM,
+	// most recent last (§4.3 "Virtualizing Rank Group").
+	poweredDown [][]dram.RankID
+	// retired marks global ranks permanently taken offline (reliability
+	// extension); their capacity is removed from the allocator.
+	retired map[int]bool
+
+	hot   *hotness
+	mig   *migrator
+	scrub *Scrubber
+
+	stats Stats
+}
+
+type vmState struct {
+	host HostID
+	aus  []int64    // AU ids assigned to this VM
+	hsns []dram.HSN // every host segment the VM owns
+}
+
+// Stats aggregates DTL-level counters.
+type Stats struct {
+	Accesses          int64
+	TranslationNs     int64 // summed address-translation latency
+	MissPathWalks     int64
+	PowerDownEvents   int64 // rank groups entering MPSM
+	ReactivateEvents  int64 // rank groups exiting MPSM
+	SegmentsMigrated  int64 // for power-down consolidation
+	SegmentsSwapped   int64 // for hotness-aware self-refresh
+	BytesMigrated     int64
+	SelfRefreshEnters int64
+	SelfRefreshExits  int64
+	RanksRetired      int64
+}
+
+// New builds a DTL over a fresh device and controller.
+func New(cfg Config) (*DTL, error) {
+	def := DefaultConfig(cfg.Geometry)
+	fillDefaults(&cfg, def)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dev, err := dram.NewDevice(cfg.Geometry, dram.DefaultPowerModel(), dram.DefaultTiming())
+	if err != nil {
+		return nil, err
+	}
+	return NewWithDevice(cfg, dev)
+}
+
+// NewWithDevice builds a DTL over an existing device (for tests and
+// experiments that need custom power/timing models).
+func NewWithDevice(cfg Config, dev *dram.Device) (*DTL, error) {
+	def := DefaultConfig(cfg.Geometry)
+	fillDefaults(&cfg, def)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := cfg.Geometry
+	d := &DTL{
+		cfg:       cfg,
+		dev:       dev,
+		ctrl:      memctrl.New(dev),
+		codec:     dev.Codec(),
+		smc:       newSMC(cfg.L1SMCEntries, cfg.L2SMCEntries, cfg.L2SMCWays),
+		segMap:    make(map[dram.HSN]dram.DSN),
+		revMap:    make([]dram.HSN, g.TotalSegments()),
+		free:      make([][]dram.DSN, g.TotalRanks()),
+		allocated: make([]int64, g.TotalRanks()),
+		vms:       make(map[VMID]*vmState),
+		auFree:    make([][]int64, cfg.MaxHosts),
+	}
+	for i := range d.revMap {
+		d.revMap[i] = dsnFree
+	}
+	// Populate free segment queues: every physical segment starts free.
+	for s := dram.DSN(0); int64(s) < g.TotalSegments(); s++ {
+		l := d.codec.DecodeDSN(s)
+		gr := d.codec.GlobalRank(l.Channel, l.Rank)
+		d.free[gr] = append(d.free[gr], s)
+	}
+	// Each host gets its own AU id space.
+	ausPerHost := cfg.TotalAUs()
+	for h := range d.auFree {
+		ids := make([]int64, ausPerHost)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		d.auFree[h] = ids
+	}
+	d.hot = newHotness(d)
+	d.mig = newMigrator(d)
+	return d, nil
+}
+
+// fillDefaults copies default values into zero-valued cfg fields.
+func fillDefaults(cfg *Config, def Config) {
+	if cfg.AUBytes == 0 {
+		cfg.AUBytes = def.AUBytes
+	}
+	if cfg.MaxHosts == 0 {
+		cfg.MaxHosts = def.MaxHosts
+	}
+	if cfg.L1SMCEntries == 0 {
+		cfg.L1SMCEntries = def.L1SMCEntries
+	}
+	if cfg.L2SMCEntries == 0 {
+		cfg.L2SMCEntries = def.L2SMCEntries
+	}
+	if cfg.L2SMCWays == 0 {
+		cfg.L2SMCWays = def.L2SMCWays
+	}
+	if cfg.ProfilingWindow == 0 {
+		cfg.ProfilingWindow = def.ProfilingWindow
+	}
+	if cfg.ProfilingThreshold == 0 {
+		cfg.ProfilingThreshold = def.ProfilingThreshold
+	}
+	if cfg.TSPTimeout == 0 {
+		cfg.TSPTimeout = def.TSPTimeout
+	}
+	if cfg.TSPTimeoutEntries == 0 {
+		cfg.TSPTimeoutEntries = def.TSPTimeoutEntries
+	}
+	if cfg.MigrationRetryLimit == 0 {
+		cfg.MigrationRetryLimit = def.MigrationRetryLimit
+	}
+	if cfg.ReserveRankGroups == 0 {
+		cfg.ReserveRankGroups = def.ReserveRankGroups
+	}
+	if cfg.L1SMCHit == 0 {
+		cfg.L1SMCHit = def.L1SMCHit
+	}
+	if cfg.L2SMCHit == 0 {
+		cfg.L2SMCHit = def.L2SMCHit
+	}
+	if cfg.SRAMTableHit == 0 {
+		cfg.SRAMTableHit = def.SRAMTableHit
+	}
+	if cfg.DRAMTableMiss == 0 {
+		cfg.DRAMTableMiss = def.DRAMTableMiss
+	}
+}
+
+// Config returns the DTL's effective configuration.
+func (d *DTL) Config() Config { return d.cfg }
+
+// Device returns the underlying DRAM device.
+func (d *DTL) Device() *dram.Device { return d.dev }
+
+// Controller returns the memory controller.
+func (d *DTL) Controller() *memctrl.Controller { return d.ctrl }
+
+// Stats returns a snapshot of DTL counters.
+func (d *DTL) Stats() Stats { return d.stats }
+
+// SMCStats returns segment-mapping-cache hit/miss counters.
+func (d *DTL) SMCStats() SMCStats { return d.smc.stats() }
+
+// Hotness returns the self-refresh engine for inspection and control.
+func (d *DTL) Hotness() *Hotness { return (*Hotness)(d.hot) }
+
+// Migrator exposes migration-protocol statistics.
+func (d *DTL) Migrator() *Migrator { return (*Migrator)(d.mig) }
+
+// hsnOf composes the host segment number for (host, au, offset) — the
+// Figure 4 HSN decomposition, arithmetic form.
+func (d *DTL) hsnOf(host HostID, au int64, off int64) dram.HSN {
+	perAU := d.cfg.SegmentsPerAU()
+	maxAUs := d.cfg.TotalAUs()
+	return dram.HSN((int64(host)*maxAUs+au)*perAU + off)
+}
+
+// AccessResult describes one translated and serviced memory access.
+type AccessResult struct {
+	DPA dram.DPA
+	// TranslationLat is the HPA→DPA translation latency (Eq. 2 term).
+	TranslationLat sim.Time
+	// MemLat is the DRAM service latency including queueing and any
+	// power-state exit penalty.
+	MemLat sim.Time
+	// SMCLevel reports where the translation hit: 1 (L1), 2 (L2),
+	// 0 (full miss path walk).
+	SMCLevel int
+	// WokeSelfRefresh reports that the access forced a rank out of SR.
+	WokeSelfRefresh bool
+}
+
+// TotalLat is translation plus memory service latency.
+func (r AccessResult) TotalLat() sim.Time { return r.TranslationLat + r.MemLat }
+
+// Access translates and services one post-cache access at virtual time now.
+// hpa must fall inside a segment previously allocated to a VM.
+func (d *DTL) Access(hpa dram.HPA, write bool, now sim.Time) (AccessResult, error) {
+	hsn := d.codec.HostSegmentOf(hpa)
+
+	dsn, lvl := d.smc.lookup(hsn)
+	var tlat sim.Time
+	switch lvl {
+	case 1:
+		tlat = d.cfg.L1SMCHit
+	case 2:
+		tlat = d.cfg.L1SMCHit + d.cfg.L2SMCHit
+	default:
+		// Miss path: host base address table + AU base address table in
+		// SRAM, then the segment mapping table in DRAM (Fig. 4).
+		mapped, ok := d.segMap[hsn]
+		if !ok {
+			return AccessResult{}, fmt.Errorf("core: access to unallocated hsn %d (hpa %#x)", hsn, int64(hpa))
+		}
+		dsn = mapped
+		tlat = d.cfg.L1SMCHit + d.cfg.L2SMCHit + 2*d.cfg.SRAMTableHit + d.cfg.DRAMTableMiss
+		d.smc.install(hsn, dsn)
+		d.stats.MissPathWalks++
+	}
+
+	// Consistency: a cached translation must agree with the table.
+	if lvl != 0 {
+		if mapped, ok := d.segMap[hsn]; !ok || mapped != dsn {
+			return AccessResult{}, fmt.Errorf("core: stale SMC entry hsn %d -> dsn %d (table: %v)", hsn, dsn, mapped)
+		}
+	}
+
+	dpa := d.codec.Compose(dsn, d.codec.OffsetOf(dram.DPA(hpa)))
+	loc := d.codec.DecodeDSN(dsn)
+	id := dram.RankID{Channel: loc.Channel, Rank: loc.Rank}
+	wasSR := d.dev.State(id) == dram.SelfRefresh
+
+	// The migration protocol may redirect or delay conflicting writes
+	// (§4.2); this also charges abort/retry bookkeeping.
+	d.mig.onForegroundAccess(dsn, write, now)
+
+	res := d.ctrl.Access(memctrl.Request{Addr: dpa, Write: write, Arrive: now + tlat})
+
+	if wasSR {
+		d.stats.SelfRefreshExits++
+		d.hot.onSelfRefreshWake(id, now)
+	}
+	d.hot.onAccess(dsn, loc, now)
+
+	d.stats.Accesses++
+	d.stats.TranslationNs += int64(tlat)
+
+	return AccessResult{
+		DPA:             dpa,
+		TranslationLat:  tlat,
+		MemLat:          res.Done - (now + tlat),
+		SMCLevel:        lvl,
+		WokeSelfRefresh: wasSR,
+	}, nil
+}
+
+// Tick advances time-driven machinery (profiling windows, phase
+// transitions, migration completions) to now without an access.
+func (d *DTL) Tick(now sim.Time) {
+	d.mig.completeUpTo(now)
+	d.hot.tick(now)
+}
+
+// CheckInvariants verifies the mapping bijection, free-queue consistency and
+// power-state safety. It is used by property tests and is cheap enough to
+// run after every structural operation in tests.
+func (d *DTL) CheckInvariants() error {
+	g := d.cfg.Geometry
+	// segMap and revMap must be mutually inverse.
+	for hsn, dsn := range d.segMap {
+		if int64(dsn) < 0 || int64(dsn) >= g.TotalSegments() {
+			return fmt.Errorf("invariant: hsn %d maps to out-of-range dsn %d", hsn, dsn)
+		}
+		if d.revMap[dsn] != hsn {
+			return fmt.Errorf("invariant: revMap[%d] = %d, want %d", dsn, d.revMap[dsn], hsn)
+		}
+	}
+	mapped := 0
+	for dsn, hsn := range d.revMap {
+		if hsn == dsnFree {
+			continue
+		}
+		mapped++
+		if got, ok := d.segMap[hsn]; !ok || got != dram.DSN(dsn) {
+			return fmt.Errorf("invariant: segMap[%d] = %v, want dsn %d", hsn, got, dsn)
+		}
+	}
+	if mapped != len(d.segMap) {
+		return fmt.Errorf("invariant: revMap has %d live entries, segMap has %d", mapped, len(d.segMap))
+	}
+	// Free queues: disjoint from live mappings, counts consistent.
+	seen := make(map[dram.DSN]bool, len(d.revMap))
+	for gr, q := range d.free {
+		for _, dsn := range q {
+			if seen[dsn] {
+				return fmt.Errorf("invariant: dsn %d in multiple free queues", dsn)
+			}
+			seen[dsn] = true
+			if d.revMap[dsn] != dsnFree {
+				return fmt.Errorf("invariant: free dsn %d is mapped to hsn %d", dsn, d.revMap[dsn])
+			}
+			l := d.codec.DecodeDSN(dsn)
+			if d.codec.GlobalRank(l.Channel, l.Rank) != gr {
+				return fmt.Errorf("invariant: dsn %d in wrong free queue %d", dsn, gr)
+			}
+		}
+		if d.retired[gr] {
+			if len(q) != 0 || d.allocated[gr] != 0 {
+				return fmt.Errorf("invariant: retired rank %d has free %d / allocated %d",
+					gr, len(q), d.allocated[gr])
+			}
+			continue
+		}
+		if int64(len(q))+d.allocated[gr] != g.SegmentsPerRank() {
+			return fmt.Errorf("invariant: rank %d free %d + allocated %d != %d",
+				gr, len(q), d.allocated[gr], g.SegmentsPerRank())
+		}
+	}
+	retiredSegs := int64(len(d.retired)) * g.SegmentsPerRank()
+	if int64(len(seen)+mapped)+retiredSegs != g.TotalSegments() {
+		return fmt.Errorf("invariant: free %d + mapped %d + retired %d != total %d",
+			len(seen), mapped, retiredSegs, g.TotalSegments())
+	}
+	// No live segment may sit on an MPSM rank.
+	for dsn, hsn := range d.revMap {
+		if hsn == dsnFree {
+			continue
+		}
+		l := d.codec.DecodeDSN(dram.DSN(dsn))
+		if d.dev.State(dram.RankID{Channel: l.Channel, Rank: l.Rank}) == dram.MPSM {
+			return fmt.Errorf("invariant: live dsn %d on MPSM rank ch%d/rk%d", dsn, l.Channel, l.Rank)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+// inflight is one outstanding segment migration on a channel: the register
+// set of §4.2 (old DSN, new DSN, progress counter, completion bit). The
+// copy runs over [start, end); progress is linear in time because the
+// migration queue issues line-sized requests only into idle bus slots.
+type inflight struct {
+	src, dst dram.DSN
+	start    sim.Time
+	end      sim.Time
+	dur      sim.Time
+	retries  int
+}
+
+// copyFraction of the window is spent copying lines; the remainder models
+// the completion-bit span where the copy is done but the segment mapping
+// table and SMC updates are still pending (§4.2).
+const copyFraction = 0.9
+
+// progressAt reports the fraction of lines copied by now; 1 means the copy
+// finished and the completion bit is set.
+func (m *inflight) progressAt(now sim.Time) float64 {
+	if now <= m.start {
+		return 0
+	}
+	copyDur := sim.Time(float64(m.dur) * copyFraction)
+	if now >= m.start+copyDur || copyDur <= 0 {
+		return 1
+	}
+	return float64(now-m.start) / float64(copyDur)
+}
+
+// MigStats counts migration-protocol events.
+type MigStats struct {
+	Enqueued       int64 // segment copies scheduled
+	Completed      int64
+	WriteConflicts int64 // foreground writes landing on an in-flight segment
+	RoutedToNew    int64 // completion bit set: write sent to the new DSN
+	Aborts         int64 // copy aborted and restarted because the line had already migrated
+	Requeues       int64 // retry limit exceeded; request moved to queue tail
+	BytesQueued    int64
+}
+
+// migrator schedules background segment copies per channel and implements
+// the §4.2 atomic-migration write protocol. Mapping-table updates are
+// applied eagerly by the caller (the simulator does not store data, only
+// mappings); the migrator owns the timing windows, the conflict protocol
+// and the energy/latency accounting.
+type migrator struct {
+	d         *DTL
+	windows   [][]*inflight // per channel, chronological
+	busyUntil []sim.Time
+	busyNs    []sim.Time // accumulated migration bus time per channel
+	stats     MigStats
+}
+
+func newMigrator(d *DTL) *migrator {
+	ch := d.cfg.Geometry.Channels
+	return &migrator{
+		d:         d,
+		windows:   make([][]*inflight, ch),
+		busyUntil: make([]sim.Time, ch),
+		busyNs:    make([]sim.Time, ch),
+	}
+}
+
+// enqueueCopy schedules the copy of one segment from src to dst (same
+// channel) using the channel's idle bandwidth; copies on a channel are
+// serialized behind each other.
+func (m *migrator) enqueueCopy(src, dst dram.DSN, now sim.Time) {
+	loc := m.d.codec.DecodeDSN(src)
+	ch := loc.Channel
+	dur := m.d.ctrl.MigrationTime(ch, m.d.cfg.Geometry.SegmentBytes, now)
+	start := now
+	if m.busyUntil[ch] > start {
+		start = m.busyUntil[ch]
+	}
+	w := &inflight{src: src, dst: dst, start: start, end: start + dur, dur: dur}
+	m.windows[ch] = append(m.windows[ch], w)
+	m.busyUntil[ch] = w.end
+	m.busyNs[ch] += dur
+	m.stats.Enqueued++
+	m.stats.BytesQueued += m.d.cfg.Geometry.SegmentBytes
+}
+
+// enqueueSwap schedules a bidirectional exchange (two segment copies).
+func (m *migrator) enqueueSwap(a, b dram.DSN, now sim.Time) {
+	m.enqueueCopy(a, b, now)
+	m.enqueueCopy(b, a, now)
+}
+
+// completeUpTo retires windows that finished by now.
+func (m *migrator) completeUpTo(now sim.Time) {
+	for ch := range m.windows {
+		ws := m.windows[ch]
+		keep := ws[:0]
+		for _, w := range ws {
+			if w.end <= now {
+				m.stats.Completed++
+			} else {
+				keep = append(keep, w)
+			}
+		}
+		m.windows[ch] = keep
+	}
+}
+
+// onForegroundAccess applies the §4.2 write protocol when a foreground
+// access lands on a segment with an in-flight migration:
+//
+//   - reads always proceed (the source copy remains valid until the
+//     mapping update);
+//   - a write with the completion bit set (copy finished, tables pending)
+//     is routed to the new DSN;
+//   - a write to a line not yet copied proceeds at the old DSN;
+//   - a write to an already-copied line aborts the migration, which
+//     restarts; after MigrationRetryLimit aborts the request is moved to
+//     the tail of the channel's migration queue.
+func (m *migrator) onForegroundAccess(dsn dram.DSN, write bool, now sim.Time) {
+	m.completeUpTo(now)
+	if !write {
+		return
+	}
+	loc := m.d.codec.DecodeDSN(dsn)
+	ch := loc.Channel
+	for _, w := range m.windows[ch] {
+		if w.src != dsn && w.dst != dsn {
+			continue
+		}
+		if now < w.start {
+			continue // queued but not copying yet
+		}
+		m.stats.WriteConflicts++
+		frac := w.progressAt(now)
+		if frac >= 1 {
+			// Completion bit set: copy done, mapping update pending.
+			m.stats.RoutedToNew++
+			continue
+		}
+		// Model the written line's position as uniformly distributed over
+		// the segment; deterministic hash of (dsn, now) keeps replays
+		// reproducible.
+		linePos := float64(uint64(int64(dsn)*2654435761+int64(now))%1024) / 1024.0
+		if linePos >= frac {
+			continue // line not copied yet: write the old location
+		}
+		// Line already migrated: abort and restart the copy.
+		m.stats.Aborts++
+		w.retries++
+		if w.retries > m.d.cfg.MigrationRetryLimit {
+			// Re-queue at the tail of the channel's migration queue.
+			m.stats.Requeues++
+			w.retries = 0
+			start := m.busyUntil[ch]
+			if start < now {
+				start = now
+			}
+			w.start = start
+			w.end = start + w.dur
+			m.busyUntil[ch] = w.end
+			m.busyNs[ch] += w.dur
+			continue
+		}
+		w.start = now
+		w.end = now + w.dur
+		if m.busyUntil[ch] < w.end {
+			m.busyUntil[ch] = w.end
+		}
+		m.busyNs[ch] += w.dur
+	}
+}
+
+// Migrator is the exported statistics surface of the migration engine.
+type Migrator migrator
+
+// Stats returns protocol counters.
+func (m *Migrator) Stats() MigStats { return m.stats }
+
+// Outstanding reports in-flight migrations across all channels.
+func (m *Migrator) Outstanding() int {
+	n := 0
+	for _, ws := range m.windows {
+		n += len(ws)
+	}
+	return n
+}
+
+// BusyUntil reports when channel ch's migration queue drains.
+func (m *Migrator) BusyUntil(ch int) sim.Time { return m.busyUntil[ch] }
+
+// BusyNs reports the total migration bus time charged to channel ch.
+func (m *Migrator) BusyNs(ch int) sim.Time { return m.busyNs[ch] }
+
+// TotalBusyNs sums migration bus time over all channels.
+func (m *Migrator) TotalBusyNs() sim.Time {
+	var t sim.Time
+	for _, b := range m.busyNs {
+		t += b
+	}
+	return t
+}

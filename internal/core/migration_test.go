@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+// migSetup produces a DTL with an in-flight drain migration and returns the
+// HPA of a segment that is being migrated plus the time migration started.
+func migSetup(t *testing.T) (*DTL, dram.HPA, sim.Time) {
+	t.Helper()
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 16*dram.MiB, 0)
+	mustAlloc(t, d, 2, 0, 480*dram.MiB, 0)
+	mustAlloc(t, d, 3, 0, 16*dram.MiB, 0)
+	start := sim.Time(1000)
+	mustDealloc(t, d, 2, start) // drains VM1's rank: VM1 segments migrate
+	if d.Migrator().Outstanding() == 0 {
+		t.Fatal("setup: no outstanding migrations")
+	}
+	addrs, err := d.VMAddresses(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, addrs[0], start
+}
+
+func TestWriteConflictDuringMigration(t *testing.T) {
+	d, hpa, start := migSetup(t)
+	before := d.Migrator().Stats()
+	// Hammer writes into the migrating segment mid-copy.
+	now := start + 10*sim.Microsecond
+	for i := 0; i < 50; i++ {
+		if _, err := d.Access(hpa+dram.HPA(i*64), true, now); err != nil {
+			t.Fatal(err)
+		}
+		now += sim.Microsecond
+	}
+	after := d.Migrator().Stats()
+	if after.WriteConflicts <= before.WriteConflicts {
+		t.Fatal("no write conflicts detected during migration")
+	}
+}
+
+func TestAbortAndRequeue(t *testing.T) {
+	d, hpa, start := migSetup(t)
+	// Enough conflicting writes must eventually trip aborts, and with the
+	// retry limit of 3, requeues.
+	now := start + 50*sim.Microsecond
+	for i := 0; i < 2000; i++ {
+		if _, err := d.Access(hpa+dram.HPA((i%1024)*64), true, now); err != nil {
+			t.Fatal(err)
+		}
+		now += 2 * sim.Microsecond
+	}
+	st := d.Migrator().Stats()
+	if st.Aborts == 0 {
+		t.Fatal("no aborts despite sustained write conflicts")
+	}
+	if st.Requeues == 0 {
+		t.Fatalf("no requeues after %d aborts (limit %d)", st.Aborts, d.Config().MigrationRetryLimit)
+	}
+}
+
+func TestReadsNeverConflict(t *testing.T) {
+	d, hpa, start := migSetup(t)
+	before := d.Migrator().Stats()
+	now := start + 10*sim.Microsecond
+	for i := 0; i < 100; i++ {
+		if _, err := d.Access(hpa+dram.HPA(i*64), false, now); err != nil {
+			t.Fatal(err)
+		}
+		now += sim.Microsecond
+	}
+	after := d.Migrator().Stats()
+	if after.WriteConflicts != before.WriteConflicts {
+		t.Fatal("reads counted as write conflicts")
+	}
+	if after.Aborts != before.Aborts {
+		t.Fatal("reads caused aborts")
+	}
+}
+
+func TestRoutedToNewAfterCopyCompletes(t *testing.T) {
+	d, hpa, _ := migSetup(t)
+	// Locate the in-flight window of hpa's segment and write inside the
+	// completion-bit span: the copy is done but the mapping update has not
+	// retired, so the write must be routed to the new DSN (§4.2).
+	hsn := d.codec.HostSegmentOf(hpa)
+	dst := d.segMap[hsn]
+	mm := (*migrator)(d.Migrator())
+	var w *inflight
+	for _, ws := range mm.windows {
+		for _, cand := range ws {
+			if cand.dst == dst {
+				w = cand
+			}
+		}
+	}
+	if w == nil {
+		t.Fatal("no in-flight window for the migrated segment")
+	}
+	now := w.start + sim.Time(float64(w.dur)*(copyFraction+0.05))
+	if _, err := d.Access(hpa, true, now); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Migrator().Stats()
+	if st.RoutedToNew != 1 {
+		t.Fatalf("routed-to-new = %d, want 1", st.RoutedToNew)
+	}
+	if st.Aborts != 0 {
+		t.Fatalf("completion-bit write caused %d aborts", st.Aborts)
+	}
+}
+
+func TestMigrationsRetire(t *testing.T) {
+	d, _, start := migSetup(t)
+	m := d.Migrator()
+	var endMax sim.Time
+	for ch := 0; ch < d.Config().Geometry.Channels; ch++ {
+		if m.BusyUntil(ch) > endMax {
+			endMax = m.BusyUntil(ch)
+		}
+	}
+	d.Tick(endMax + 1)
+	if m.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after all windows ended", m.Outstanding())
+	}
+	if got := m.Stats().Completed; got != m.Stats().Enqueued {
+		t.Fatalf("completed %d != enqueued %d", got, m.Stats().Enqueued)
+	}
+	_ = start
+}
+
+func TestMigrationSerializedPerChannel(t *testing.T) {
+	// Total busy time on a channel must equal the sum of durations
+	// (sequential issue), and windows must not overlap.
+	d, _, _ := migSetup(t)
+	mm := (*migrator)(d.Migrator())
+	for ch, ws := range mm.windows {
+		for i := 1; i < len(ws); i++ {
+			if ws[i].start < ws[i-1].end {
+				t.Fatalf("channel %d windows overlap: %+v then %+v", ch, ws[i-1], ws[i])
+			}
+		}
+	}
+}
+
+func TestProgressAt(t *testing.T) {
+	w := inflight{start: 100, end: 200, dur: 100}
+	if w.progressAt(50) != 0 {
+		t.Error("progress before start")
+	}
+	// The copy occupies copyFraction of the window; at the window midpoint
+	// the copy is 50/(100*0.9) done.
+	if got, want := w.progressAt(150), 50.0/90.0; got != want {
+		t.Errorf("progress at midpoint = %v, want %v", got, want)
+	}
+	// Past the copy span, the completion bit is set.
+	if w.progressAt(195) != 1 {
+		t.Error("completion-bit span should report progress 1")
+	}
+	if w.progressAt(250) != 1 {
+		t.Error("progress after end")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+// TestMultiHostPooledMemory models the paper's Figure 3 setting: VMs from
+// multiple compute hosts share one CXL-attached pooled memory device, each
+// host confined to its own HPA space.
+func TestMultiHostPooledMemory(t *testing.T) {
+	d := newTestDTL(t)
+	now := sim.Time(0)
+	// Four hosts each place a VM.
+	var bases [][]dram.HPA
+	for h := 0; h < 4; h++ {
+		a := mustAlloc(t, d, VMID(100+h), HostID(h), 64*dram.MiB, now)
+		bases = append(bases, a.AUBases)
+		now += 1000
+	}
+	// Per-host accounting.
+	perHost := d.HostAllocatedBytes()
+	for h := 0; h < 4; h++ {
+		if perHost[h] != 64*dram.MiB {
+			t.Fatalf("host %d allocated = %d, want 64MiB", h, perHost[h])
+		}
+	}
+	// Every host's addresses resolve; the HPA spaces are disjoint.
+	seen := map[dram.HPA]int{}
+	for h, hb := range bases {
+		for _, b := range hb {
+			if prev, dup := seen[b]; dup {
+				t.Fatalf("hosts %d and %d share HPA %#x", prev, h, int64(b))
+			}
+			seen[b] = h
+			if _, err := d.Access(b, false, now); err != nil {
+				t.Fatalf("host %d access: %v", h, err)
+			}
+			now += 100
+		}
+	}
+}
+
+func TestCrossHostAddressesDoNotAlias(t *testing.T) {
+	// The same (AU id, offset) on different hosts must translate to
+	// different physical segments.
+	d := newTestDTL(t)
+	a0 := mustAlloc(t, d, 1, 0, 16*dram.MiB, 0)
+	a1 := mustAlloc(t, d, 2, 1, 16*dram.MiB, 1000)
+	r0, err := d.Access(a0.AUBases[0], false, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := d.Access(a1.AUBases[0], false, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.DPA == r1.DPA {
+		t.Fatalf("hosts alias the same physical address %#x", int64(r0.DPA))
+	}
+}
+
+func TestUnmappedHostSpaceRejected(t *testing.T) {
+	// Host 1 never allocated anything; a probe into its HPA space fails
+	// even while host 0 has live memory.
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 16*dram.MiB, 0)
+	foreign := dram.HPA(int64(d.hsnOf(1, 0, 0)) << d.codec.SegmentShift())
+	if _, err := d.Access(foreign, false, 1000); err == nil {
+		t.Fatal("access to another host's unmapped space succeeded")
+	}
+}
+
+func TestHostAUExhaustionIsPerHost(t *testing.T) {
+	// Host AU id pools are independent: exhausting host 0's ids does not
+	// affect host 1. (Capacity itself is shared.)
+	d := newTestDTL(t)
+	perHostAUs := d.Config().TotalAUs()
+	// Consume a few AUs on host 0 and the same number on host 1.
+	mustAlloc(t, d, 1, 0, 3*d.Config().AUBytes, 0)
+	mustAlloc(t, d, 2, 1, 3*d.Config().AUBytes, 1000)
+	got := d.HostAllocatedBytes()
+	if got[0] != got[1] || got[0] != 3*d.Config().AUBytes {
+		t.Fatalf("per-host bytes = %v", got[:2])
+	}
+	_ = perHostAUs
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+func TestPowerDownTriggersOnDealloc(t *testing.T) {
+	d := newTestDTL(t)
+	// VM1 fills one rank group; VM2 straddles two. Freeing VM2 releases a
+	// rank group's worth of capacity, which must power down.
+	mustAlloc(t, d, 1, 0, 128*dram.MiB, 0)
+	mustAlloc(t, d, 2, 0, 256*dram.MiB, 0)
+	if d.PoweredDownGroups() == 0 {
+		t.Fatal("device with unused rank groups should have powered some down at allocation time")
+	}
+	before := d.PoweredDownGroups()
+	mustDealloc(t, d, 2, 1000)
+	if d.PoweredDownGroups() <= before {
+		t.Fatalf("power-down groups %d after dealloc, want > %d", d.PoweredDownGroups(), before)
+	}
+	if d.Stats().PowerDownEvents == 0 {
+		t.Fatal("no power-down events recorded")
+	}
+}
+
+func TestPowerDownOnIdleDeviceKeepsOneGroup(t *testing.T) {
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 16*dram.MiB, 0)
+	mustDealloc(t, d, 1, 0)
+	// Everything free: all but one rank group can power down.
+	if got, want := d.ActiveRanksPerChannel(), 1; got != want {
+		t.Fatalf("active ranks per channel = %d, want %d", got, want)
+	}
+	if d.PoweredDownGroups() != 3 {
+		t.Fatalf("powered-down groups = %d, want 3", d.PoweredDownGroups())
+	}
+}
+
+func TestPowerDownSelectsLeastUtilizedRank(t *testing.T) {
+	d := newTestDTL(t)
+	// VM1 fills one full rank group; VM2 takes a sliver that must land in
+	// a different (reactivated) rank.
+	mustAlloc(t, d, 1, 0, 256*dram.MiB, 0)
+	mustAlloc(t, d, 2, 0, 16*dram.MiB, 0)
+	mustDealloc(t, d, 2, 1000)
+	// The fully-utilized rank group must remain standby; the emptied one
+	// must be chosen as the victim, leaving one active rank per channel.
+	for ch := 0; ch < 4; ch++ {
+		if d.dev.State(dram.RankID{Channel: ch, Rank: 0}) != dram.Standby {
+			t.Fatalf("fully-utilized rank 0 of channel %d not standby", ch)
+		}
+	}
+	if d.ActiveRanksPerChannel() != 1 {
+		t.Fatalf("active ranks = %d, want 1", d.ActiveRanksPerChannel())
+	}
+}
+
+func TestDrainMigratesLiveSegments(t *testing.T) {
+	// Recreate the Figure 7 walkthrough: after VM2's deallocation both
+	// remaining ranks hold a small live VM each, so powering one down
+	// requires draining its live segments into the other.
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 16*dram.MiB, 0)  // small VM in the first rank
+	mustAlloc(t, d, 2, 0, 480*dram.MiB, 0) // spans two ranks per channel
+	mustAlloc(t, d, 3, 0, 16*dram.MiB, 0)  // small VM in the second rank
+	mustDealloc(t, d, 2, 1000)
+	if d.Stats().SegmentsMigrated == 0 {
+		t.Fatal("no segments migrated during consolidation")
+	}
+	if d.ActiveRanksPerChannel() != 1 {
+		t.Fatalf("active ranks = %d, want 1", d.ActiveRanksPerChannel())
+	}
+	// The two surviving VMs must still be fully accessible.
+	now := sim.Time(2000)
+	for _, vm := range []VMID{1, 3} {
+		addrs, err := d.VMAddresses(vm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range addrs {
+			if _, err := d.Access(base, false, now); err != nil {
+				t.Fatalf("VM%d access after drain: %v", vm, err)
+			}
+			now += 1000
+		}
+	}
+}
+
+func TestReactivationOnPressure(t *testing.T) {
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 16*dram.MiB, 0)
+	mustDealloc(t, d, 1, 0)
+	if d.PoweredDownGroups() != 3 {
+		t.Fatalf("setup: %d groups powered down", d.PoweredDownGroups())
+	}
+	// Allocate more than one rank group's capacity: must reactivate.
+	a := mustAlloc(t, d, 2, 0, 512*dram.MiB, 1000)
+	if a.Reactivated == 0 {
+		t.Fatal("large allocation did not reactivate any rank group")
+	}
+	if d.Stats().ReactivateEvents == 0 {
+		t.Fatal("no reactivation events recorded")
+	}
+	if d.AllocatedBytes() != 512*dram.MiB {
+		t.Fatalf("allocated = %d", d.AllocatedBytes())
+	}
+}
+
+func TestMPSMRanksNeverHoldLiveData(t *testing.T) {
+	// Randomized workload: alternating allocs/deallocs with invariant
+	// checks; CheckInvariants covers the MPSM-safety property.
+	d := newTestDTL(t)
+	rng := rand.New(rand.NewSource(4))
+	live := map[VMID]bool{}
+	nextID := VMID(1)
+	now := sim.Time(0)
+	for i := 0; i < 200; i++ {
+		now += 1000
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			sz := int64(rng.Intn(8)+1) * 16 * dram.MiB
+			if _, err := d.AllocateVM(nextID, HostID(rng.Intn(4)), sz, now); err == nil {
+				live[nextID] = true
+			}
+			nextID++
+		} else {
+			var victim VMID
+			for id := range live {
+				victim = id
+				break
+			}
+			if err := d.DeallocateVM(victim, now); err != nil {
+				t.Fatalf("dealloc %d: %v", victim, err)
+			}
+			delete(live, victim)
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+func TestVirtualRankGroupsMayDifferPerChannel(t *testing.T) {
+	// After hotness migrations the idle rank index can differ per channel;
+	// power-down must still form a virtual group (§4.3). We emulate the
+	// asymmetry by direct drain bookkeeping: allocate, then verify groups
+	// recorded by power-down are per-channel selections.
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 64*dram.MiB, 0)
+	mustDealloc(t, d, 1, 0)
+	if d.PoweredDownGroups() == 0 {
+		t.Fatal("no groups powered down")
+	}
+	for _, group := range d.poweredDown {
+		if len(group) != d.Config().Geometry.Channels {
+			t.Fatalf("virtual group covers %d channels", len(group))
+		}
+		seen := map[int]bool{}
+		for _, id := range group {
+			if seen[id.Channel] {
+				t.Fatalf("duplicate channel in group: %v", group)
+			}
+			seen[id.Channel] = true
+		}
+	}
+}
+
+func TestPowerDownReducesBackgroundPower(t *testing.T) {
+	d := newTestDTL(t)
+	baseline := d.dev.BackgroundPowerNow()
+	mustAlloc(t, d, 1, 0, 16*dram.MiB, 0)
+	mustDealloc(t, d, 1, 0)
+	after := d.dev.BackgroundPowerNow()
+	if after >= baseline {
+		t.Fatalf("background power %v not reduced from %v", after, baseline)
+	}
+	// 3 groups x 4 ranks at 0.068 vs 1.0.
+	want := baseline - 12*(1.0-0.068)
+	if diff := after - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("background power %v, want %v", after, want)
+	}
+}
+
+func TestMigrationChargedToMigrator(t *testing.T) {
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 16*dram.MiB, 0)
+	mustAlloc(t, d, 2, 0, 480*dram.MiB, 0)
+	mustAlloc(t, d, 3, 0, 16*dram.MiB, 0)
+	mustDealloc(t, d, 2, 1000)
+	ms := d.Migrator().Stats()
+	if ms.Enqueued == 0 || ms.BytesQueued == 0 {
+		t.Fatalf("migrator stats = %+v", ms)
+	}
+	if d.Stats().BytesMigrated != ms.BytesQueued {
+		t.Fatalf("bytes migrated %d != queued %d", d.Stats().BytesMigrated, ms.BytesQueued)
+	}
+	if d.Migrator().TotalBusyNs() <= 0 {
+		t.Fatal("no migration bus time charged")
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+// TestPropertyRandomOpsPreserveInvariants drives the DTL with random
+// sequences of allocate / deallocate / access / tick operations generated
+// by testing/quick and verifies the global invariants after every step.
+func TestPropertyRandomOpsPreserveInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testConfig()
+		cfg.ProfilingWindow = 10 * sim.Microsecond
+		cfg.ProfilingThreshold = 50 * sim.Microsecond
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Hotness().Enable(0)
+
+		live := map[VMID][]dram.HPA{}
+		nextID := VMID(1)
+		now := sim.Time(0)
+		for op := 0; op < 120; op++ {
+			now += sim.Time(rng.Intn(20000) + 100)
+			switch r := rng.Intn(10); {
+			case r < 3: // allocate
+				sz := int64(rng.Intn(16)+1) * 16 * dram.MiB
+				if a, err := d.AllocateVM(nextID, HostID(rng.Intn(4)), sz, now); err == nil {
+					live[nextID] = a.AUBases
+				}
+				nextID++
+			case r < 5 && len(live) > 0: // deallocate
+				for id := range live {
+					if err := d.DeallocateVM(id, now); err != nil {
+						t.Logf("seed %d: dealloc: %v", seed, err)
+						return false
+					}
+					delete(live, id)
+					break
+				}
+			case r < 9 && len(live) > 0: // burst of accesses
+				for id, bases := range live {
+					_ = id
+					for i := 0; i < 20; i++ {
+						base := bases[rng.Intn(len(bases))]
+						off := rng.Int63n(16 * dram.MiB)
+						if _, err := d.Access(base+dram.HPA(off), rng.Intn(3) == 0, now); err != nil {
+							t.Logf("seed %d: access: %v", seed, err)
+							return false
+						}
+						now += sim.Time(rng.Intn(500) + 50)
+					}
+					break
+				}
+			default:
+				d.Tick(now)
+			}
+			if err := d.CheckInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTranslationStable verifies that for a fixed allocation, the
+// HPA→DPA mapping is a function: repeated accesses to the same HPA resolve
+// to the same DPA unless a migration intervened, and distinct HPAs never
+// alias to the same DPA.
+func TestPropertyTranslationStable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := d.AllocateVM(1, 0, 128*dram.MiB, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[dram.DPA]dram.HPA{}
+		now := sim.Time(100)
+		for i := 0; i < 300; i++ {
+			base := a.AUBases[rng.Intn(len(a.AUBases))]
+			off := rng.Int63n(16*dram.MiB) &^ 63
+			hpa := base + dram.HPA(off)
+			res, err := d.Access(hpa, false, now)
+			if err != nil {
+				return false
+			}
+			if prev, ok := seen[res.DPA]; ok && prev != hpa {
+				t.Logf("seed %d: DPA %d aliased by HPA %d and %d", seed, res.DPA, prev, hpa)
+				return false
+			}
+			seen[res.DPA] = hpa
+			now += 100
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySegmentConservation: allocated segment count equals the sum
+// of per-rank allocation counters under arbitrary alloc/dealloc orders.
+func TestPropertySegmentConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := []VMID{}
+		next := VMID(1)
+		now := sim.Time(0)
+		for _, op := range ops {
+			now += 1000
+			if op%2 == 0 || len(live) == 0 {
+				sz := int64(op%8+1) * 16 * dram.MiB
+				if _, err := d.AllocateVM(next, HostID(op%4), sz, now); err == nil {
+					live = append(live, next)
+				}
+				next++
+			} else {
+				id := live[int(op)%len(live)]
+				if err := d.DeallocateVM(id, now); err != nil {
+					return false
+				}
+				for i, v := range live {
+					if v == id {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			}
+			var sum int64
+			for _, n := range d.allocated {
+				sum += n
+			}
+			if sum != int64(len(d.segMap)) {
+				t.Logf("allocated sum %d != mapped %d", sum, len(d.segMap))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+// Rank retirement is the reliability extension the paper's conclusion points
+// at: because DTL owns the HPA→DPA mapping, a rank that starts reporting
+// correctable-error storms (or fails a patrol scrub) can be drained and
+// taken offline transparently, exactly like a power-down victim — except it
+// never comes back. The host keeps its physical addresses; the device keeps
+// running with reduced spare capacity.
+
+// ErrRetireCapacity is returned when the surviving ranks of some channel
+// cannot absorb the retiring rank's live segments.
+var ErrRetireCapacity = fmt.Errorf("core: insufficient free capacity to retire rank")
+
+// RetireRank drains every live segment off the given rank into the other
+// active ranks of the same channel, removes the rank's capacity from the
+// allocator permanently, and powers the rank down. Unlike power-down
+// victims, retired ranks are never reactivated: AllocateVM will not draw
+// from them and reactivation skips them.
+func (d *DTL) RetireRank(id dram.RankID, now sim.Time) error {
+	g := d.cfg.Geometry
+	if id.Channel < 0 || id.Channel >= g.Channels || id.Rank < 0 || id.Rank >= g.RanksPerChannel {
+		return fmt.Errorf("core: rank %v out of range", id)
+	}
+	gr := d.codec.GlobalRank(id.Channel, id.Rank)
+	if d.retired == nil {
+		d.retired = make(map[int]bool)
+	}
+	if d.retired[gr] {
+		return fmt.Errorf("core: rank %v already retired", id)
+	}
+	d.mig.completeUpTo(now)
+
+	// If the rank is in MPSM it holds no data; wake it logically so the
+	// drain bookkeeping below applies uniformly, then drop its capacity.
+	if d.dev.State(id) == dram.MPSM {
+		d.removeFromPoweredDown(id)
+		d.dev.SetState(id, dram.Standby, now)
+	}
+	if d.dev.State(id) == dram.SelfRefresh {
+		d.hot.onSelfRefreshWake(id, now)
+		d.stats.SelfRefreshExits++
+		d.dev.SetState(id, dram.Standby, now)
+	}
+
+	// Capacity check: the other active, non-retired ranks of this channel
+	// must absorb the live segments.
+	live := d.allocated[gr]
+	var freeElsewhere int64
+	for rk := 0; rk < g.RanksPerChannel; rk++ {
+		if rk == id.Rank {
+			continue
+		}
+		ogr := d.codec.GlobalRank(id.Channel, rk)
+		if d.retired[ogr] || d.dev.State(dram.RankID{Channel: id.Channel, Rank: rk}) == dram.MPSM {
+			continue
+		}
+		freeElsewhere += int64(len(d.free[ogr]))
+	}
+	if freeElsewhere < live {
+		// Try waking powered-down groups to make room.
+		for freeElsewhere < live && d.reactivateOne(now) {
+			freeElsewhere = 0
+			for rk := 0; rk < g.RanksPerChannel; rk++ {
+				if rk == id.Rank {
+					continue
+				}
+				ogr := d.codec.GlobalRank(id.Channel, rk)
+				if d.retired[ogr] || d.dev.State(dram.RankID{Channel: id.Channel, Rank: rk}) == dram.MPSM {
+					continue
+				}
+				freeElsewhere += int64(len(d.free[ogr]))
+			}
+		}
+		if freeElsewhere < live {
+			return ErrRetireCapacity
+		}
+	}
+
+	d.drainRank(id, now)
+
+	// Remove the rank's free capacity from the allocator and power it off
+	// for good.
+	d.free[gr] = nil
+	d.retired[gr] = true
+	d.dev.SetState(id, dram.MPSM, now)
+	d.hot.onRankPoweredDown(id, now)
+	d.stats.RanksRetired++
+	// Capacity woken for the drain that is no longer needed can power back
+	// down immediately.
+	d.maybePowerDown(now)
+	return nil
+}
+
+// removeFromPoweredDown drops id from any virtual rank group so a later
+// reactivation does not resurrect a retired rank. The group's remaining
+// members stay powered down.
+func (d *DTL) removeFromPoweredDown(id dram.RankID) {
+	for gi, group := range d.poweredDown {
+		for mi, member := range group {
+			if member == id {
+				d.poweredDown[gi] = append(group[:mi], group[mi+1:]...)
+				if len(d.poweredDown[gi]) == 0 {
+					d.poweredDown = append(d.poweredDown[:gi], d.poweredDown[gi+1:]...)
+				}
+				return
+			}
+		}
+	}
+}
+
+// RetiredRanks lists retired ranks in (rank, channel) order.
+func (d *DTL) RetiredRanks() []dram.RankID {
+	var out []dram.RankID
+	g := d.cfg.Geometry
+	for rk := 0; rk < g.RanksPerChannel; rk++ {
+		for ch := 0; ch < g.Channels; ch++ {
+			if d.retired[d.codec.GlobalRank(ch, rk)] {
+				out = append(out, dram.RankID{Channel: ch, Rank: rk})
+			}
+		}
+	}
+	return out
+}
+
+// UsableBytes reports device capacity minus retired ranks.
+func (d *DTL) UsableBytes() int64 {
+	return d.cfg.Geometry.TotalBytes() - int64(len(d.retired))*d.cfg.Geometry.RankBytes
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+func TestRetireEmptyRank(t *testing.T) {
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 64*dram.MiB, 0)
+	// Retire a rank with no live data (rank 3 was powered down at alloc).
+	id := dram.RankID{Channel: 0, Rank: 3}
+	if err := d.RetireRank(id, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.RetiredRanks(); len(got) != 1 || got[0] != id {
+		t.Fatalf("retired = %v", got)
+	}
+	if d.dev.State(id) != dram.MPSM {
+		t.Fatal("retired rank not powered off")
+	}
+	want := d.Config().Geometry.TotalBytes() - d.Config().Geometry.RankBytes
+	if d.UsableBytes() != want {
+		t.Fatalf("usable = %d, want %d", d.UsableBytes(), want)
+	}
+	if d.Stats().RanksRetired != 1 {
+		t.Fatal("retirement not counted")
+	}
+}
+
+func TestRetireRankWithLiveDataMigrates(t *testing.T) {
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 64*dram.MiB, 0)
+	a, _ := d.VMAddresses(1)
+	// VM1 sits in the first active rank of each channel; find it and
+	// retire it on channel 0.
+	var victim dram.RankID
+	found := false
+	for gr, n := range d.allocated {
+		if n > 0 {
+			ch, rk := d.codec.SplitGlobalRank(gr)
+			if ch == 0 {
+				victim = dram.RankID{Channel: ch, Rank: rk}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no live rank found")
+	}
+	before := d.Stats().SegmentsMigrated
+	if err := d.RetireRank(victim, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().SegmentsMigrated == before {
+		t.Fatal("no segments migrated off the retiring rank")
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// VM1 must remain fully accessible.
+	now := sim.Time(2000)
+	for _, base := range a {
+		if _, err := d.Access(base, false, now); err != nil {
+			t.Fatalf("access after retirement: %v", err)
+		}
+		now += 1000
+	}
+}
+
+func TestRetireDoubleFails(t *testing.T) {
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 16*dram.MiB, 0)
+	id := dram.RankID{Channel: 1, Rank: 2}
+	if err := d.RetireRank(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RetireRank(id, 0); err == nil {
+		t.Fatal("double retirement accepted")
+	}
+}
+
+func TestRetireOutOfRange(t *testing.T) {
+	d := newTestDTL(t)
+	if err := d.RetireRank(dram.RankID{Channel: 9, Rank: 0}, 0); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestRetireCapacityExhaustion(t *testing.T) {
+	d := newTestDTL(t)
+	// Fill the entire device, then try to retire a live rank: nowhere to
+	// drain to.
+	mustAlloc(t, d, 1, 0, d.Config().Geometry.TotalBytes(), 0)
+	err := d.RetireRank(dram.RankID{Channel: 0, Rank: 0}, 1000)
+	if !errors.Is(err, ErrRetireCapacity) {
+		t.Fatalf("err = %v, want ErrRetireCapacity", err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetireWakesGroupsWhenNeeded(t *testing.T) {
+	d := newTestDTL(t)
+	// One rank group's worth allocated: other groups are MPSM. Retiring a
+	// live rank requires waking capacity.
+	mustAlloc(t, d, 1, 0, 256*dram.MiB, 0)
+	var victim dram.RankID
+	for gr, n := range d.allocated {
+		if n > 0 {
+			ch, rk := d.codec.SplitGlobalRank(gr)
+			if ch == 0 {
+				victim = dram.RankID{Channel: ch, Rank: rk}
+				break
+			}
+		}
+	}
+	if err := d.RetireRank(victim, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().ReactivateEvents == 0 {
+		t.Fatal("retirement should have reactivated a group for drain capacity")
+	}
+}
+
+func TestAllocationAvoidsRetiredRanks(t *testing.T) {
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 16*dram.MiB, 0)
+	for ch := 0; ch < 4; ch++ {
+		if err := d.RetireRank(dram.RankID{Channel: ch, Rank: 3}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allocate nearly everything that remains; no segment may land on the
+	// retired rank.
+	mustAlloc(t, d, 2, 0, 512*dram.MiB, 1000)
+	for dsn, hsn := range d.revMap {
+		if hsn == dsnFree {
+			continue
+		}
+		l := d.codec.DecodeDSN(dram.DSN(dsn))
+		if l.Rank == 3 {
+			t.Fatalf("live segment on retired rank: dsn %d", dsn)
+		}
+	}
+	// Requesting more than the surviving capacity must fail cleanly.
+	if _, err := d.AllocateVM(3, 0, 300*dram.MiB, 2000); err == nil {
+		t.Fatal("allocation beyond usable capacity accepted")
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetireInteractsWithHotness(t *testing.T) {
+	cfg := testConfig()
+	cfg.ProfilingWindow = 10 * sim.Microsecond
+	cfg.ProfilingThreshold = 100 * sim.Microsecond
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAlloc(t, d, 1, 0, 512*dram.MiB, 0)
+	d.Hotness().Enable(0)
+	a, _ := d.VMAddresses(1)
+	now := driveAccesses(t, d, a[:4], 2000, 0, 500)
+	d.Tick(now + 200*sim.Microsecond)
+	// Retire whatever rank currently holds the most data on channel 0.
+	var victim dram.RankID
+	var most int64 = -1
+	for rk := 0; rk < 4; rk++ {
+		gr := d.codec.GlobalRank(0, rk)
+		if d.allocated[gr] > most {
+			most = d.allocated[gr]
+			victim = dram.RankID{Channel: 0, Rank: rk}
+		}
+	}
+	if err := d.RetireRank(victim, now+300*sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The engine keeps running without touching the retired rank.
+	driveAccesses(t, d, a[:4], 1000, now+400*sim.Microsecond, 500)
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+// Scrubber is a patrol scrubber: a background walker that sweeps the
+// device's segments at a bounded rate (like DRAM patrol scrub, it uses
+// idle cycles), verifying mapping-metadata integrity as it goes and
+// accumulating per-rank error counts reported by the media. Ranks whose
+// error counts cross a threshold are retirement candidates (see
+// RetireRank) — the reliability loop the paper's conclusion sketches.
+//
+// Ranks in MPSM hold no data and are skipped; ranks in self-refresh retain
+// data but scrubbing them would wake them, so they are skipped too and
+// revisited once active.
+type Scrubber struct {
+	d      *DTL
+	cursor dram.DSN
+
+	scrubbed   int64
+	sweeps     int64
+	skipped    int64
+	errorCount map[int]int64 // injected/observed media errors per global rank
+	pending    map[dram.DSN]int
+}
+
+// Scrubber returns the device's patrol scrubber (one per DTL).
+func (d *DTL) Scrubber() *Scrubber {
+	if d.scrub == nil {
+		d.scrub = &Scrubber{
+			d:          d,
+			errorCount: make(map[int]int64),
+			pending:    make(map[dram.DSN]int),
+		}
+	}
+	return d.scrub
+}
+
+// InjectErrors marks a physical segment as carrying n correctable media
+// errors; the next patrol pass over it will record them against its rank.
+// (Test/fault-injection hook standing in for ECC telemetry.)
+func (s *Scrubber) InjectErrors(dsn dram.DSN, n int) {
+	if int64(dsn) < 0 || int64(dsn) >= s.d.cfg.Geometry.TotalSegments() {
+		panic(fmt.Sprintf("core: inject on out-of-range dsn %d", dsn))
+	}
+	s.pending[dsn] += n
+}
+
+// Run advances the patrol by up to budget segments at virtual time now,
+// verifying metadata consistency for each visited segment. It returns the
+// number of segments actually scrubbed and the first inconsistency found
+// (nil when the metadata is sound).
+func (s *Scrubber) Run(now sim.Time, budget int) (int, error) {
+	d := s.d
+	g := d.cfg.Geometry
+	total := g.TotalSegments()
+	if budget <= 0 {
+		return 0, nil
+	}
+	done := 0
+	for i := 0; i < budget; i++ {
+		dsn := s.cursor
+		s.cursor++
+		if int64(s.cursor) >= total {
+			s.cursor = 0
+			s.sweeps++
+		}
+
+		l := d.codec.DecodeDSN(dsn)
+		id := dram.RankID{Channel: l.Channel, Rank: l.Rank}
+		gr := d.codec.GlobalRank(l.Channel, l.Rank)
+		if d.retired[gr] || d.dev.State(id) != dram.Standby {
+			s.skipped++
+			continue
+		}
+
+		// Metadata integrity: the reverse mapping and the segment mapping
+		// table must agree.
+		if hsn := d.revMap[dsn]; hsn != dsnFree {
+			mapped, ok := d.segMap[hsn]
+			if !ok || mapped != dsn {
+				return done, fmt.Errorf("core: scrub found broken mapping at dsn %d (hsn %d -> %v)",
+					dsn, hsn, mapped)
+			}
+		}
+
+		// Collect media-error telemetry.
+		if n := s.pending[dsn]; n > 0 {
+			s.errorCount[gr] += int64(n)
+			delete(s.pending, dsn)
+		}
+		s.scrubbed++
+		done++
+	}
+	return done, nil
+}
+
+// ErrorCount reports accumulated media errors for a rank.
+func (s *Scrubber) ErrorCount(id dram.RankID) int64 {
+	return s.errorCount[s.d.codec.GlobalRank(id.Channel, id.Rank)]
+}
+
+// RanksOverThreshold lists ranks whose accumulated error count reached the
+// threshold — retirement candidates, in (rank, channel) order.
+func (s *Scrubber) RanksOverThreshold(threshold int64) []dram.RankID {
+	var out []dram.RankID
+	g := s.d.cfg.Geometry
+	for rk := 0; rk < g.RanksPerChannel; rk++ {
+		for ch := 0; ch < g.Channels; ch++ {
+			if s.errorCount[s.d.codec.GlobalRank(ch, rk)] >= threshold {
+				out = append(out, dram.RankID{Channel: ch, Rank: rk})
+			}
+		}
+	}
+	return out
+}
+
+// Stats reports patrol progress.
+func (s *Scrubber) Stats() (scrubbed, skipped, sweeps int64) {
+	return s.scrubbed, s.skipped, s.sweeps
+}

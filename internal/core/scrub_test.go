@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"dtl/internal/dram"
+)
+
+func TestScrubFullSweepCleanDevice(t *testing.T) {
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 64*dram.MiB, 0)
+	s := d.Scrubber()
+	total := int(d.Config().Geometry.TotalSegments())
+	done, err := s.Run(1000, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrubbed, skipped, _ := s.Stats()
+	if int(scrubbed+skipped) != total {
+		t.Fatalf("scrubbed %d + skipped %d != %d", scrubbed, skipped, total)
+	}
+	// MPSM ranks (powered down at alloc) are skipped, so done < total.
+	if done == 0 || done >= total {
+		t.Fatalf("done = %d of %d, want partial (MPSM ranks skipped)", done, total)
+	}
+}
+
+func TestScrubBudgetRespected(t *testing.T) {
+	d := newTestDTL(t)
+	s := d.Scrubber()
+	if done, err := s.Run(0, 10); err != nil || done > 10 {
+		t.Fatalf("done=%d err=%v", done, err)
+	}
+	if done, err := s.Run(0, -1); err != nil || done != 0 {
+		t.Fatalf("negative budget: done=%d err=%v", done, err)
+	}
+}
+
+func TestScrubWrapsAndCountsSweeps(t *testing.T) {
+	d := newTestDTL(t)
+	s := d.Scrubber()
+	total := int(d.Config().Geometry.TotalSegments())
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(0, total); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, sweeps := s.Stats(); sweeps != 3 {
+		t.Fatalf("sweeps = %d, want 3", sweeps)
+	}
+}
+
+func TestScrubCollectsInjectedErrors(t *testing.T) {
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 256*dram.MiB, 0) // keep target ranks active
+	s := d.Scrubber()
+	// Find a live segment and inject errors against its rank.
+	var target dram.DSN
+	for dsn, hsn := range d.revMap {
+		if hsn != dsnFree {
+			target = dram.DSN(dsn)
+			break
+		}
+	}
+	l := d.codec.DecodeDSN(target)
+	id := dram.RankID{Channel: l.Channel, Rank: l.Rank}
+	s.InjectErrors(target, 7)
+	s.InjectErrors(target, 3)
+	if _, err := s.Run(0, int(d.Config().Geometry.TotalSegments())); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ErrorCount(id); got != 10 {
+		t.Fatalf("error count = %d, want 10", got)
+	}
+	over := s.RanksOverThreshold(10)
+	if len(over) != 1 || over[0] != id {
+		t.Fatalf("over threshold = %v, want [%v]", over, id)
+	}
+	if len(s.RanksOverThreshold(11)) != 0 {
+		t.Fatal("threshold 11 should not trigger")
+	}
+}
+
+func TestScrubThenRetireLoop(t *testing.T) {
+	// The full reliability loop: errors accumulate -> rank crosses the
+	// threshold -> retirement drains it -> scrub skips it afterwards.
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 256*dram.MiB, 0)
+	s := d.Scrubber()
+	var target dram.DSN
+	for dsn, hsn := range d.revMap {
+		if hsn != dsnFree {
+			target = dram.DSN(dsn)
+			break
+		}
+	}
+	l := d.codec.DecodeDSN(target)
+	id := dram.RankID{Channel: l.Channel, Rank: l.Rank}
+	s.InjectErrors(target, 100)
+	if _, err := s.Run(0, int(d.Config().Geometry.TotalSegments())); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range s.RanksOverThreshold(100) {
+		if err := d.RetireRank(bad, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if d.dev.State(id) != dram.MPSM {
+		t.Fatal("bad rank not retired")
+	}
+	// Subsequent sweeps skip the retired rank entirely.
+	before, skippedBefore, _ := s.Stats()
+	_ = before
+	if _, err := s.Run(2000, int(d.Config().Geometry.TotalSegments())); err != nil {
+		t.Fatal(err)
+	}
+	_, skippedAfter, _ := s.Stats()
+	if skippedAfter <= skippedBefore {
+		t.Fatal("retired rank not skipped by patrol")
+	}
+}
+
+func TestScrubDetectsMetadataCorruption(t *testing.T) {
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 64*dram.MiB, 0)
+	// Corrupt the mapping behind the API's back.
+	var victim dram.DSN
+	for dsn, hsn := range d.revMap {
+		if hsn != dsnFree {
+			victim = dram.DSN(dsn)
+			break
+		}
+	}
+	hsn := d.revMap[victim]
+	d.segMap[hsn] = victim + 1 // now revMap and segMap disagree
+	if _, err := d.Scrubber().Run(0, int(d.Config().Geometry.TotalSegments())); err == nil {
+		t.Fatal("scrub missed metadata corruption")
+	}
+}
+
+func TestScrubInjectOutOfRangePanics(t *testing.T) {
+	d := newTestDTL(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Scrubber().InjectErrors(dram.DSN(1<<40), 1)
+}

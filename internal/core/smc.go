@@ -1,0 +1,145 @@
+package core
+
+import (
+	"dtl/internal/dram"
+)
+
+// smcEntry is one HSN→DSN mapping held in a segment mapping cache.
+type smcEntry struct {
+	hsn   dram.HSN
+	dsn   dram.DSN
+	valid bool
+	lru   uint64
+}
+
+// smc is the two-level segment mapping cache of §3.2: a small
+// fully-associative L1 backed by a set-associative L2, both LRU.
+type smc struct {
+	l1     []smcEntry
+	l2     []smcEntry // sets x ways, row-major
+	l2Sets int
+	l2Ways int
+	stamp  uint64
+
+	l1Hits, l1Misses int64
+	l2Hits, l2Misses int64
+}
+
+func newSMC(l1Entries, l2Entries, l2Ways int) *smc {
+	return &smc{
+		l1:     make([]smcEntry, l1Entries),
+		l2:     make([]smcEntry, l2Entries),
+		l2Sets: l2Entries / l2Ways,
+		l2Ways: l2Ways,
+	}
+}
+
+// lookup returns the cached DSN for hsn and which level hit:
+// 1 = L1 hit, 2 = L2 hit (promoted into L1), 0 = miss.
+func (c *smc) lookup(hsn dram.HSN) (dram.DSN, int) {
+	c.stamp++
+	for i := range c.l1 {
+		e := &c.l1[i]
+		if e.valid && e.hsn == hsn {
+			e.lru = c.stamp
+			c.l1Hits++
+			return e.dsn, 1
+		}
+	}
+	c.l1Misses++
+	set := int(int64(hsn) % int64(c.l2Sets))
+	base := set * c.l2Ways
+	for i := base; i < base+c.l2Ways; i++ {
+		e := &c.l2[i]
+		if e.valid && e.hsn == hsn {
+			e.lru = c.stamp
+			c.l2Hits++
+			c.installL1(hsn, e.dsn)
+			return e.dsn, 2
+		}
+	}
+	c.l2Misses++
+	return 0, 0
+}
+
+// install caches a mapping in both levels (miss-path fill).
+func (c *smc) install(hsn dram.HSN, dsn dram.DSN) {
+	c.stamp++
+	c.installL1(hsn, dsn)
+	c.installL2(hsn, dsn)
+}
+
+func (c *smc) installL1(hsn dram.HSN, dsn dram.DSN) {
+	victim := 0
+	for i := range c.l1 {
+		if !c.l1[i].valid {
+			victim = i
+			break
+		}
+		if c.l1[i].lru < c.l1[victim].lru {
+			victim = i
+		}
+	}
+	c.l1[victim] = smcEntry{hsn: hsn, dsn: dsn, valid: true, lru: c.stamp}
+}
+
+func (c *smc) installL2(hsn dram.HSN, dsn dram.DSN) {
+	set := int(int64(hsn) % int64(c.l2Sets))
+	base := set * c.l2Ways
+	victim := base
+	for i := base; i < base+c.l2Ways; i++ {
+		if !c.l2[i].valid {
+			victim = i
+			break
+		}
+		if c.l2[i].lru < c.l2[victim].lru {
+			victim = i
+		}
+	}
+	c.l2[victim] = smcEntry{hsn: hsn, dsn: dsn, valid: true, lru: c.stamp}
+}
+
+// invalidate drops any cached mapping for hsn (called after remapping, §3.4:
+// "an invalidation of the corresponding entry in the segment mapping cache").
+func (c *smc) invalidate(hsn dram.HSN) {
+	for i := range c.l1 {
+		if c.l1[i].valid && c.l1[i].hsn == hsn {
+			c.l1[i].valid = false
+		}
+	}
+	set := int(int64(hsn) % int64(c.l2Sets))
+	base := set * c.l2Ways
+	for i := base; i < base+c.l2Ways; i++ {
+		if c.l2[i].valid && c.l2[i].hsn == hsn {
+			c.l2[i].valid = false
+		}
+	}
+}
+
+// SMCStats reports hit/miss counters for both levels.
+type SMCStats struct {
+	L1Hits, L1Misses int64
+	L2Hits, L2Misses int64
+}
+
+// L1MissRatio reports L1 misses / L1 lookups.
+func (s SMCStats) L1MissRatio() float64 {
+	n := s.L1Hits + s.L1Misses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.L1Misses) / float64(n)
+}
+
+// L2MissRatio reports L2 misses / L2 lookups (i.e. conditional on L1 miss).
+func (s SMCStats) L2MissRatio() float64 {
+	n := s.L2Hits + s.L2Misses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.L2Misses) / float64(n)
+}
+
+func (c *smc) stats() SMCStats {
+	return SMCStats{L1Hits: c.l1Hits, L1Misses: c.l1Misses, L2Hits: c.l2Hits, L2Misses: c.l2Misses}
+}

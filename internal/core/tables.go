@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+)
+
+// StructureSizes is the analytic metadata-size model behind Table 5: the
+// SRAM- and DRAM-resident structures DTL needs for a device of the
+// configured capacity serving Config.MaxHosts hosts.
+type StructureSizes struct {
+	// Remapping caches.
+	L1SMCBytes int64
+	L2SMCBytes int64
+	// SRAM structures.
+	HostBaseTableBytes  int64
+	AUBaseTableBytes    int64
+	MigrationTableBytes int64
+	// DRAM structures.
+	SegmentMapTableBytes int64
+	ReverseMapTableBytes int64
+	FreeQueueBytes       int64
+	AllocQueueBytes      int64
+	FreeAUQueueBytes     int64
+}
+
+// TotalSRAM sums the on-chip structures (caches excluded, as in Table 6's
+// separate "segment mapping cache" row).
+func (s StructureSizes) TotalSRAM() int64 {
+	return s.HostBaseTableBytes + s.AUBaseTableBytes + s.MigrationTableBytes
+}
+
+// TotalDRAM sums the DRAM-resident structures.
+func (s StructureSizes) TotalDRAM() int64 {
+	return s.SegmentMapTableBytes + s.ReverseMapTableBytes + s.FreeQueueBytes +
+		s.AllocQueueBytes + s.FreeAUQueueBytes
+}
+
+// Sizes computes the Table 5 model for the configuration.
+//
+// Entry widths follow the paper's construction: a segment pointer needs
+// log2(total segments) bits; SMC entries add the HSN tag; the migration
+// table stores {access bit, rank number, segment number} per segment;
+// queue entries are segment (or AU) numbers.
+func (c Config) Sizes() StructureSizes {
+	g := c.Geometry
+	totalSegs := g.TotalSegments()
+	segBits := bitsFor(totalSegs)
+	hsnBits := bitsFor(int64(c.MaxHosts) * c.TotalAUs() * c.SegmentsPerAU())
+	rankBits := bitsFor(int64(g.RanksPerChannel))
+	segInRankBits := bitsFor(g.SegmentsPerRank())
+	auBits := bitsFor(c.TotalAUs())
+
+	bytesOf := func(entries, bitsPerEntry int64) int64 {
+		return (entries*bitsPerEntry + 7) / 8
+	}
+
+	var s StructureSizes
+	// SMC entries: valid bit + HSN tag + DSN.
+	smcEntryBits := 1 + hsnBits + segBits
+	s.L1SMCBytes = bytesOf(int64(c.L1SMCEntries), smcEntryBits)
+	s.L2SMCBytes = bytesOf(int64(c.L2SMCEntries), smcEntryBits)
+	// Host base address table: one AU-table base pointer per host.
+	ptrBits := int64(64)
+	s.HostBaseTableBytes = bytesOf(int64(c.MaxHosts), ptrBits+1)
+	// AU base address tables: one entry per AU slot per host.
+	s.AUBaseTableBytes = bytesOf(int64(c.MaxHosts)*c.TotalAUs(), auBits+1)
+	// Migration table: access bit + target rank + target segment per segment.
+	s.MigrationTableBytes = bytesOf(totalSegs, 1+rankBits+segInRankBits)
+	// Segment mapping table: one DSN per host segment slot in use; sized
+	// for full-device occupancy.
+	s.SegmentMapTableBytes = bytesOf(totalSegs, segBits)
+	// Reverse mapping table: one HSN per physical segment.
+	s.ReverseMapTableBytes = bytesOf(totalSegs, hsnBits)
+	// Free / allocated segment queues: one segment number per slot.
+	s.FreeQueueBytes = bytesOf(totalSegs, segBits)
+	s.AllocQueueBytes = bytesOf(totalSegs, segBits)
+	// Free AU queue: one AU number per AU.
+	s.FreeAUQueueBytes = bytesOf(c.TotalAUs(), auBits)
+	return s
+}
+
+func bitsFor(n int64) int64 {
+	if n <= 1 {
+		return 1
+	}
+	return int64(math.Ceil(math.Log2(float64(n))))
+}
+
+// ControllerEstimate is the §6.5/Table 6 power and area model for the DTL
+// logic inside the CXL controller, normalized to a target technology node
+// using the (technology)^2 scaling rule of Biswas & Chandrakasan.
+type ControllerEstimate struct {
+	SMCPowerMW   float64
+	SMCAreaMM2   float64
+	SRAMPowerMW  float64
+	SRAMAreaMM2  float64
+	CPUPowerMW   float64
+	CPUAreaMM2   float64
+	TotalPowerMW float64
+	TotalAreaMM2 float64
+}
+
+// controller reference points measured at 40 nm (quad-core Cortex-R5 at
+// 625 MHz synthesized with the TSMC 40 nm GP library, §6.5), scaled by
+// (target/40)^2 and linearly in frequency to 1.5 GHz.
+const (
+	refTechNm      = 40.0
+	refCPUPowerMW  = 21.2 / 0.030625 // back-scaled so 7nm yields 21.2 mW
+	refCPUAreaMM2  = 0.0515 / 0.030625
+	refFreqGHz     = 0.625
+	targetFreqGHz  = 1.5
+	sramMWPerMB40  = 180.0 // leakage+dynamic per MB of SRAM structure at 40nm
+	sramMM2PerMB40 = 6.0
+	smcMWPerKB40   = 10.0
+	smcMM2PerKB40  = 0.021
+)
+
+// Controller estimates Table 6 numbers for the configuration at the given
+// technology node in nanometers (the paper reports 7 nm).
+func (c Config) Controller(techNm float64) ControllerEstimate {
+	s := c.Sizes()
+	scale := (techNm / refTechNm) * (techNm / refTechNm)
+
+	smcKB := float64(s.L1SMCBytes+s.L2SMCBytes) / 1024
+	sramMB := float64(s.TotalSRAM()) / (1 << 20)
+
+	e := ControllerEstimate{
+		SMCPowerMW:  smcMWPerKB40 * smcKB * scale * (targetFreqGHz / refFreqGHz),
+		SMCAreaMM2:  smcMM2PerKB40 * smcKB * scale,
+		SRAMPowerMW: sramMWPerMB40 * sramMB * scale * (targetFreqGHz / refFreqGHz),
+		SRAMAreaMM2: sramMM2PerMB40 * sramMB * scale,
+		CPUPowerMW:  refCPUPowerMW * scale,
+		CPUAreaMM2:  refCPUAreaMM2 * scale,
+	}
+	e.TotalPowerMW = e.SMCPowerMW + e.SRAMPowerMW + e.CPUPowerMW
+	e.TotalAreaMM2 = e.SMCAreaMM2 + e.SRAMAreaMM2 + e.CPUAreaMM2
+	return e
+}

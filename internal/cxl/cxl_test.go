@@ -1,0 +1,140 @@
+package cxl
+
+import (
+	"testing"
+
+	"dtl/internal/core"
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+func newPort(t *testing.T, lat sim.Time) *Port {
+	t.Helper()
+	cfg := core.DefaultConfig(dram.Geometry{
+		Channels:        4,
+		RanksPerChannel: 4,
+		BanksPerRank:    16,
+		SegmentBytes:    2 * dram.MiB,
+		RankBytes:       64 * dram.MiB,
+	})
+	cfg.AUBytes = 16 * dram.MiB
+	d, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPort(d, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPortValidation(t *testing.T) {
+	if _, err := NewPort(nil, 0); err == nil {
+		t.Fatal("nil DTL accepted")
+	}
+	d := newPort(t, 0).DTL()
+	if _, err := NewPort(d, -1); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+func TestLatencyConstants(t *testing.T) {
+	if NativeDRAMLatency != 121 || CXLMemoryLatency != 210 {
+		t.Fatalf("latency constants = %v / %v", NativeDRAMLatency, CXLMemoryLatency)
+	}
+}
+
+func TestAccessChargesLinkLatency(t *testing.T) {
+	p := newPort(t, CXLMemoryLatency)
+	a, err := p.DTL().AllocateVM(1, 0, 16*dram.MiB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := p.Access(a.AUBases[0], false, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= CXLMemoryLatency {
+		t.Fatalf("latency %v does not include device time beyond the link", lat)
+	}
+	if p.Accesses() != 1 {
+		t.Fatalf("accesses = %d", p.Accesses())
+	}
+	if p.MeanLatency() != float64(lat) {
+		t.Fatalf("mean = %v, want %v", p.MeanLatency(), lat)
+	}
+	if p.LinkLatency() != CXLMemoryLatency {
+		t.Fatalf("link latency = %v", p.LinkLatency())
+	}
+}
+
+func TestCXLSlowerThanNative(t *testing.T) {
+	run := func(lat sim.Time) float64 {
+		p := newPort(t, lat)
+		a, err := p.DTL().AllocateVM(1, 0, 16*dram.MiB, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := sim.Time(0)
+		for i := 0; i < 1000; i++ {
+			if _, err := p.Access(a.AUBases[0]+dram.HPA(i*64), i%3 == 0, now); err != nil {
+				t.Fatal(err)
+			}
+			now += 500
+		}
+		return p.MeanLatency()
+	}
+	native := run(NativeDRAMLatency)
+	remote := run(CXLMemoryLatency)
+	diff := remote - native
+	if diff < 80 || diff > 100 {
+		t.Fatalf("CXL-native latency gap = %.1f ns, want ~89", diff)
+	}
+}
+
+func TestAMATReflectsMeasuredRatios(t *testing.T) {
+	p := newPort(t, CXLMemoryLatency)
+	a, err := p.DTL().AllocateVM(1, 0, 64*dram.MiB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	for i := 0; i < 5000; i++ {
+		base := a.AUBases[i%len(a.AUBases)]
+		off := int64(i%8) * 2 * dram.MiB
+		if _, err := p.Access(base+dram.HPA(off), false, now); err != nil {
+			t.Fatal(err)
+		}
+		now += 300
+	}
+	m := p.AMAT()
+	if m.CXLMemLat != CXLMemoryLatency {
+		t.Fatalf("AMAT link latency = %v", m.CXLMemLat)
+	}
+	if m.L1Miss < 0 || m.L1Miss > 1 || m.L2Miss < 0 || m.L2Miss > 1 {
+		t.Fatalf("miss ratios out of range: %v %v", m.L1Miss, m.L2Miss)
+	}
+	// Translation overhead should be tiny relative to the link (the
+	// paper's headline: +4.2ns on 210ns, <2%).
+	if m.Translation() > 0.2*float64(CXLMemoryLatency) {
+		t.Fatalf("translation %.1f ns too large", m.Translation())
+	}
+}
+
+func TestMeanLatencyEmptyPort(t *testing.T) {
+	p := newPort(t, CXLMemoryLatency)
+	if p.MeanLatency() != 0 {
+		t.Fatal("mean latency of idle port should be 0")
+	}
+}
+
+func TestPortErrorsPropagate(t *testing.T) {
+	p := newPort(t, CXLMemoryLatency)
+	if _, err := p.Access(0, false, 0); err == nil {
+		t.Fatal("access to unallocated memory should fail through the port")
+	}
+	if p.Accesses() != 0 {
+		t.Fatal("failed access counted")
+	}
+}

@@ -1,0 +1,117 @@
+// Package dram models the DRAM subsystem of a CXL memory expander as seen by
+// the DRAM Translation Layer: device geometry (channels, ranks, banks), the
+// DPA bit layout of Figure 6 (rank bits most significant, channels
+// interleaved at segment granularity), JEDEC-style rank power states
+// (standby, self-refresh, maximum power saving mode) with their transition
+// penalties, a DDR4-like bank timing model, and the normalized power model of
+// Table 2 / Figure 11.
+package dram
+
+import (
+	"fmt"
+)
+
+// Geometry describes the physical organization of the CXL memory device.
+type Geometry struct {
+	// Channels is the number of independent DRAM channels.
+	Channels int
+	// RanksPerChannel is the number of ranks behind each channel.
+	RanksPerChannel int
+	// BanksPerRank is the number of banks in each rank.
+	BanksPerRank int
+	// SegmentBytes is the translation/migration granularity (2 MiB default).
+	SegmentBytes int64
+	// RankBytes is the capacity of a single rank.
+	RankBytes int64
+}
+
+// Capacity constants.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+	TiB int64 = 1 << 40
+)
+
+// Default1TB returns the paper's evaluation geometry: a 1 TB CXL device with
+// 4 channels × 8 ranks per channel × 32 GB ranks and 2 MB segments (Fig. 6).
+func Default1TB() Geometry {
+	return Geometry{
+		Channels:        4,
+		RanksPerChannel: 8,
+		BanksPerRank:    16,
+		SegmentBytes:    2 * MiB,
+		RankBytes:       32 * GiB,
+	}
+}
+
+// Hypothetical4TB returns the scaled device of §6.6: 8 channels with two
+// 8-rank 256 GB DIMMs per channel (16 ranks/channel, 32 GB ranks).
+func Hypothetical4TB() Geometry {
+	return Geometry{
+		Channels:        8,
+		RanksPerChannel: 16,
+		BanksPerRank:    16,
+		SegmentBytes:    2 * MiB,
+		RankBytes:       32 * GiB,
+	}
+}
+
+// Validate checks internal consistency of the geometry.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0:
+		return fmt.Errorf("dram: channels must be positive, got %d", g.Channels)
+	case g.RanksPerChannel <= 0:
+		return fmt.Errorf("dram: ranks per channel must be positive, got %d", g.RanksPerChannel)
+	case g.BanksPerRank <= 0:
+		return fmt.Errorf("dram: banks per rank must be positive, got %d", g.BanksPerRank)
+	case g.SegmentBytes <= 0 || g.SegmentBytes&(g.SegmentBytes-1) != 0:
+		return fmt.Errorf("dram: segment size must be a positive power of two, got %d", g.SegmentBytes)
+	case g.RankBytes <= 0 || g.RankBytes%g.SegmentBytes != 0:
+		return fmt.Errorf("dram: rank size %d must be a positive multiple of segment size %d", g.RankBytes, g.SegmentBytes)
+	}
+	return nil
+}
+
+// TotalBytes reports the full device capacity.
+func (g Geometry) TotalBytes() int64 {
+	return int64(g.Channels) * int64(g.RanksPerChannel) * g.RankBytes
+}
+
+// TotalRanks reports the number of ranks in the device.
+func (g Geometry) TotalRanks() int { return g.Channels * g.RanksPerChannel }
+
+// SegmentsPerRank reports how many segments fit in one rank.
+func (g Geometry) SegmentsPerRank() int64 { return g.RankBytes / g.SegmentBytes }
+
+// TotalSegments reports the number of segments in the device.
+func (g Geometry) TotalSegments() int64 {
+	return int64(g.TotalRanks()) * g.SegmentsPerRank()
+}
+
+// RankGroupBytes is the capacity of one rank group (the same rank index
+// across all channels), the granularity of rank-level power-down (§3.3).
+func (g Geometry) RankGroupBytes() int64 { return int64(g.Channels) * g.RankBytes }
+
+// String renders the geometry compactly, e.g. "4ch x 8rk x 32GiB (1TiB)".
+func (g Geometry) String() string {
+	return fmt.Sprintf("%dch x %drk x %s (%s)",
+		g.Channels, g.RanksPerChannel, FormatBytes(g.RankBytes), FormatBytes(g.TotalBytes()))
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(b int64) string {
+	switch {
+	case b >= TiB && b%TiB == 0:
+		return fmt.Sprintf("%dTiB", b/TiB)
+	case b >= GiB && b%GiB == 0:
+		return fmt.Sprintf("%dGiB", b/GiB)
+	case b >= MiB && b%MiB == 0:
+		return fmt.Sprintf("%dMiB", b/MiB)
+	case b >= KiB && b%KiB == 0:
+		return fmt.Sprintf("%dKiB", b/KiB)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

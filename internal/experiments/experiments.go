@@ -1,0 +1,160 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated substrate. Each runner prints the
+// same rows/series the paper reports and returns the headline numbers so
+// tests and EXPERIMENTS.md can compare shapes against the paper's claims.
+//
+// Absolute numbers differ from the paper (the substrate is a simulator, not
+// the authors' Xeon testbed); the reproduced quantities are the shapes: who
+// wins, by roughly what factor, and where behavior changes regime.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dtl/internal/sim"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Quick shrinks trace lengths and device sizes for smoke tests and
+	// benchmarks; full runs reproduce the paper-scale sweeps.
+	Quick bool
+	// Seed drives every random choice; fixed default for reproducibility.
+	Seed int64
+	// Out receives the human-readable report; nil discards it.
+	Out io.Writer
+	// CSVDir, when non-empty, receives plot-ready CSV series for the
+	// experiments that produce them (fig1 timeline, fig9 distributions,
+	// fig12 power timeline, fig14 savings).
+	CSVDir string
+}
+
+// DefaultOptions returns full-scale deterministic options writing to w.
+func DefaultOptions(w io.Writer) Options { return Options{Seed: 1, Out: w} }
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// scaled picks between a full and quick value.
+func (o Options) scaled(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Result is the machine-readable outcome of one experiment.
+type Result struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	// Metrics holds the headline numbers keyed by a short name.
+	Metrics map[string]float64
+}
+
+func newResult(id, title, claim string) Result {
+	return Result{ID: id, Title: title, PaperClaim: claim, Metrics: map[string]float64{}}
+}
+
+// header prints the standard experiment banner.
+func (r Result) header(w io.Writer) {
+	fmt.Fprintf(w, "\n=== %s: %s ===\n", r.ID, r.Title)
+	fmt.Fprintf(w, "paper: %s\n\n", r.PaperClaim)
+}
+
+// footer prints the metric summary.
+func (r Result) footer(w io.Writer) {
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "measured %-32s %.4g\n", k, r.Metrics[k])
+	}
+}
+
+// Runner is a registered experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Options) Result
+}
+
+// All returns every experiment in presentation order.
+func All() []Runner {
+	return []Runner{
+		{"fig1", "Azure VM memory usage over 6 hours", Fig1},
+		{"fig2", "Performance vs active ranks per channel", Fig2},
+		{"fig5", "Rank-interleaving cost, local vs CXL latency", Fig5},
+		{"fig6", "DPA bit mapping for the 1TB device", Fig6},
+		{"fig9", "Post-cache memory access stride distribution", Fig9},
+		{"fig10", "Segment size vs cold-segment share", Fig10},
+		{"fig11", "DRAM background and active power model", Fig11},
+		{"fig12", "Rank-level power-down over the 6-hour schedule", Fig12},
+		{"fig13", "DRAM power breakdown", Fig13},
+		{"fig14", "Hotness-aware self-refresh savings", Fig14},
+		{"fig15", "Total energy savings, both techniques", Fig15},
+		{"table2", "Normalized power per DRAM state", Table2},
+		{"table4", "Memory accesses per kilo-instruction", Table4},
+		{"table5", "Metadata structure sizes, 384GB vs 4TB", Table5},
+		{"table6", "Controller power and area at 7nm", Table6},
+		{"amat", "CXL access latency with DTL translation (§6.1)", AMAT},
+		{"abl-segsize", "Ablation: segment size (§4.1)", AblationSegmentSize},
+		{"abl-smc", "Ablation: segment mapping cache sizing (§3.2)", AblationSMC},
+		{"abl-threshold", "Ablation: profiling idle threshold (§3.4)", AblationProfilingThreshold},
+		{"abl-tsp", "Ablation: TSP walk budget (§3.4)", AblationTSPTimeout},
+		{"abl-rankgroup", "Ablation: rank-group vs per-rank power-down (§3.3)", AblationRankGroup},
+	}
+}
+
+// ByID finds a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// executionTime converts a replayed trace into wall-clock terms: a fixed
+// per-instruction pipeline cost plus exposed memory latency per post-cache
+// access. The paper's CloudSuite mixes are moderately memory-bound; 0.5 ns
+// per instruction (2 GHz, IPC 1) is the reference point.
+func executionTime(instructions int64, accesses int64, meanLatNs float64) float64 {
+	const nsPerInstr = 0.5
+	return float64(instructions)*nsPerInstr + float64(accesses)*meanLatNs
+}
+
+// csvFile opens <CSVDir>/<name>.csv for a series dump, or returns nil when
+// CSV export is off. Callers must Close the returned file.
+func (o Options) csvFile(name string) *os.File {
+	if o.CSVDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.CSVDir, 0o755); err != nil {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(o.CSVDir, name+".csv"))
+	if err != nil {
+		return nil
+	}
+	return f
+}
+
+// pct formats a ratio as a percentage string.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// nsT converts a float of nanoseconds for printing.
+func nsT(ns float64) string { return fmt.Sprintf("%.1fns", ns) }
+
+var _ = sim.Time(0)

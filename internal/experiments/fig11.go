@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dtl/internal/dram"
+	"dtl/internal/metrics"
+)
+
+// Fig11 reproduces the DRAM power model calibration: (a) background power
+// versus the number of active ranks per channel, and (b) the near-linear
+// scaling of active power with bandwidth utilization.
+func Fig11(o Options) Result {
+	res := newResult("Fig11", "DRAM background and active power",
+		"background power scales with active ranks; active power is linear in bandwidth")
+	w := o.out()
+	res.header(w)
+
+	pm := dram.DefaultPowerModel()
+	g := dram.Default1TB()
+
+	// (a) background power with N active ranks per channel, the rest MPSM,
+	// normalized to the 8-rank configuration.
+	fmt.Fprintln(w, "(a) normalized background power vs active ranks per channel")
+	tabA := metrics.NewTable("active ranks/ch", "background (units)", "normalized")
+	full := float64(g.TotalRanks()) * pm.StandbyPower
+	for _, n := range []int{8, 6, 4, 2} {
+		active := float64(n * g.Channels)
+		idle := float64(g.TotalRanks()) - active
+		bg := active*pm.StandbyPower + idle*pm.MPSMPower
+		tabA.AddRowf("%d\t%.2f\t%.3f", n, bg, bg/full)
+		res.Metrics[fmt.Sprintf("bg_norm_%dranks", n)] = bg / full
+	}
+	tabA.Render(w)
+
+	// (b) active power vs bandwidth; linearity check via endpoints.
+	fmt.Fprintln(w, "\n(b) active power vs bandwidth (per device)")
+	tabB := metrics.NewTable("bandwidth GB/s", "active power (units)")
+	for _, bw := range []float64{0, 5, 10, 15, 20, 25, 30} {
+		tabB.AddRowf("%.0f\t%.2f", bw, pm.Active(bw))
+	}
+	tabB.Render(w)
+	linErr := pm.Active(30) - 6*pm.Active(5)
+	res.Metrics["active_linearity_residual"] = linErr
+	res.footer(w)
+	return res
+}

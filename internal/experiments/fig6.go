@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dtl/internal/dram"
+	"dtl/internal/metrics"
+)
+
+// Fig6 demonstrates the DPA bit mapping of the 1TB device: rank in the most
+// significant position, channel immediately above the 2MB segment offset.
+func Fig6(o Options) Result {
+	res := newResult("Fig6", "DRAM physical address mapping, 1TB device",
+		"rank bits most significant; channels interleaved at segment granularity")
+	w := o.out()
+	res.header(w)
+
+	g := dram.Default1TB()
+	codec := dram.MustCodec(g)
+	fmt.Fprintf(w, "geometry: %v\n", g)
+	fmt.Fprintf(w, "layout:   | rank(3b) | segment index(14b) | channel(2b) | offset(21b) |\n\n")
+
+	tab := metrics.NewTable("DSN", "channel", "rank", "index", "first DPA")
+	for _, s := range []dram.DSN{0, 1, 2, 3, 4, 5, 16384 * 4, 16384 * 8} {
+		l := codec.DecodeDSN(s)
+		tab.AddRowf("%d\t%d\t%d\t%d\t%#x", s, l.Channel, l.Rank, l.Index, int64(codec.DSNToDPA(s)))
+	}
+	tab.Render(w)
+
+	// Verify the two structural properties numerically.
+	channelRotates := true
+	for s := dram.DSN(0); s < 16; s++ {
+		if codec.DecodeDSN(s).Channel != int(int64(s)%4) {
+			channelRotates = false
+		}
+	}
+	rankHigh := codec.DecodeDSN(0).Rank == 0 &&
+		codec.DecodeDSN(dram.DSN(g.SegmentsPerRank()*4)).Rank == 1
+	res.Metrics["channel_interleaved"] = boolMetric(channelRotates)
+	res.Metrics["rank_bits_msb"] = boolMetric(rankHigh)
+	res.footer(w)
+	return res
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

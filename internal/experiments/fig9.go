@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dtl/internal/metrics"
+	"dtl/internal/trace"
+)
+
+// fig9Apps are the 8 CloudSuite benchmarks used for the stride and reuse
+// studies (the paper uses the 8 that run to completion under Pin).
+var fig9Apps = []string{
+	"data-analytics", "data-caching", "data-serving", "django-workload",
+	"fb-oss-performance", "graph-analytics", "media-streaming", "web-serving",
+}
+
+// Fig9 reproduces the post-cache stride distribution: strides of 4MB or
+// more dominate single applications, and dominate even more strongly when
+// applications are mixed (89.3% for the 8-application mix).
+func Fig9(o Options) Result {
+	res := newResult("Fig9", "Memory access stride distribution",
+		">=4MB strides dominate; 89.3% of accesses in the 8-app mix")
+	w := o.out()
+	res.header(w)
+
+	n := o.scaled(400_000, 60_000)
+	foot := int64(1 << 30)
+	if o.Quick {
+		foot = 256 << 20
+	}
+
+	header := append([]string{"workload"}, trace.StrideBucketLabels()...)
+	tab := metrics.NewTable(header...)
+	csv := o.csvFile("fig9_strides")
+	if csv != nil {
+		fmt.Fprintf(csv, "workload,%s\n", strings.Join(trace.StrideBucketLabels(), ","))
+		defer csv.Close()
+	}
+
+	addRow := func(name string, dist []float64) {
+		cells := []string{name}
+		for _, f := range dist {
+			cells = append(cells, pct(f))
+		}
+		tab.AddRow(cells...)
+		if csv != nil {
+			fmt.Fprintf(csv, "%s", name)
+			for _, f := range dist {
+				fmt.Fprintf(csv, ",%.4f", f)
+			}
+			fmt.Fprintln(csv)
+		}
+	}
+
+	// Single-application traces.
+	for _, app := range fig9Apps {
+		p, err := trace.ProfileByName(app)
+		if err != nil {
+			panic(err)
+		}
+		p.FootprintBytes = foot
+		g := trace.MustGenerator(p, o.Seed)
+		addRow(app, trace.StrideDistribution(g.Next, n))
+	}
+
+	// Mixed trace of all 8 applications.
+	var profiles []trace.Profile
+	for _, app := range fig9Apps {
+		p, _ := trace.ProfileByName(app)
+		p.FootprintBytes = foot
+		profiles = append(profiles, p)
+	}
+	mixed := trace.MustMixed(profiles, o.Seed)
+	mixDist := trace.StrideDistribution(mixed.Next, n)
+	addRow("mix-8", mixDist)
+	tab.Render(w)
+
+	last := len(mixDist) - 1
+	fmt.Fprintf(w, "\nmix-8 share of >=4MB strides: %s (paper: 89.3%%)\n", pct(mixDist[last]))
+	res.Metrics["mix8_ge4mb_share"] = mixDist[last]
+	res.footer(w)
+	return res
+}

@@ -1,0 +1,322 @@
+// Package memctrl models the per-channel DRAM memory controllers inside the
+// CXL device. It services cache-line requests against a bank/bus timing
+// model (DDR4-like), charges rank power-state exit penalties, keeps per-rank
+// access counters for DTL's hotness profiling, and accounts bandwidth for
+// the active-power model.
+//
+// The model is a service-time calculator rather than a cycle-accurate
+// pipeline: requests are submitted in nondecreasing arrival-time order per
+// channel, and the controller computes each request's start and completion
+// times from bank readiness, channel-bus occupancy, rank-switch penalties,
+// and power-state exits. Migration traffic (segment copies/swaps issued by
+// DTL) is modeled through the idle-bandwidth estimator: migration requests
+// are only issued when the foreground request queue of the channel is empty
+// (§4.2), so migrations consume exactly the bandwidth foreground traffic
+// leaves unused.
+package memctrl
+
+import (
+	"fmt"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+// LineBytes is the request granularity (one cache line).
+const LineBytes = 64
+
+// Request is a single post-cache memory access presented to the controller.
+type Request struct {
+	Addr   dram.DPA
+	Write  bool
+	Arrive sim.Time
+}
+
+// Result describes the timing of a serviced request.
+type Result struct {
+	Start  sim.Time // when the command began issuing on the channel
+	Done   sim.Time // when the data burst completed
+	RowHit bool     // whether the access hit the open row
+	// WakeDelay is the extra delay charged because the target rank had to
+	// exit self-refresh (MPSM ranks hold no live data; an access to one is
+	// a model bug and panics).
+	WakeDelay sim.Time
+}
+
+// Latency reports the request's total latency.
+func (r Result) Latency(arrive sim.Time) sim.Time { return r.Done - arrive }
+
+// RankStats accumulates per-rank counters over a profiling window.
+type RankStats struct {
+	Accesses int64
+	Bytes    int64
+}
+
+// Controller services requests for all channels of one device.
+type Controller struct {
+	dev   *dram.Device
+	codec *dram.AddressCodec
+	tim   dram.Timing
+
+	busFree   []sim.Time // per channel: earliest next command slot
+	lastRank  []int      // per channel: last rank that used the bus
+	lastWrite []bool     // per channel: whether the last burst was a write
+	bankFree  [][]sim.Time
+	openRow   [][]int64
+
+	window    []RankStats // per global rank, since last ResetWindow
+	lifetime  []RankStats // per global rank, total
+	busyNs    []sim.Time  // per channel: accumulated bus occupancy
+	wakeCount int64
+
+	// refreshEnabled blocks each standby rank for TRFC every TREFI, with
+	// per-rank phase staggering (all-bank refresh). Self-refresh and MPSM
+	// ranks refresh internally or not at all, so only standby ranks stall.
+	refreshEnabled bool
+	refreshStalls  int64
+}
+
+// New builds a controller over the device.
+func New(dev *dram.Device) *Controller {
+	g := dev.Geometry()
+	nRanks := g.TotalRanks()
+	c := &Controller{
+		dev:       dev,
+		codec:     dev.Codec(),
+		tim:       dev.Timing(),
+		busFree:   make([]sim.Time, g.Channels),
+		lastRank:  make([]int, g.Channels),
+		lastWrite: make([]bool, g.Channels),
+		window:    make([]RankStats, nRanks),
+		lifetime:  make([]RankStats, nRanks),
+		busyNs:    make([]sim.Time, g.Channels),
+	}
+	for ch := range c.lastRank {
+		c.lastRank[ch] = -1
+	}
+	c.bankFree = make([][]sim.Time, nRanks)
+	c.openRow = make([][]int64, nRanks)
+	for r := 0; r < nRanks; r++ {
+		c.bankFree[r] = make([]sim.Time, g.BanksPerRank)
+		c.openRow[r] = make([]int64, g.BanksPerRank)
+		for b := range c.openRow[r] {
+			c.openRow[r][b] = -1
+		}
+	}
+	return c
+}
+
+// Device returns the underlying DRAM device.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Access services one request and returns its timing. Accessing a rank in
+// MPSM panics: MPSM does not retain data, so DTL must never route a live
+// access there.
+func (c *Controller) Access(req Request) Result {
+	ch, rk := c.codec.RankOf(req.Addr)
+	id := dram.RankID{Channel: ch, Rank: rk}
+	gr := c.codec.GlobalRank(ch, rk)
+
+	var wake sim.Time
+	switch c.dev.State(id) {
+	case dram.MPSM:
+		panic(fmt.Sprintf("memctrl: access to MPSM rank %v at dpa %d", id, req.Addr))
+	case dram.SelfRefresh:
+		ready := c.dev.SetState(id, dram.Standby, req.Arrive)
+		wake = ready - req.Arrive
+		c.wakeCount++
+	}
+
+	rankReady := c.dev.ReadyAt(id)
+	// The command-bus slot is claimed FR-FCFS style: a request stalled on
+	// its bank or rank does not block the channel for younger requests to
+	// other banks, so the bus reservation advances from the arrival point
+	// while the request's own start also waits for bank/rank readiness.
+	busSlot := maxT(req.Arrive, c.busFree[ch])
+
+	bank := c.codec.BankOf(req.Addr)
+	row := c.codec.RowOf(req.Addr)
+	start := maxT(busSlot, rankReady, c.bankFree[gr][bank])
+	if c.refreshEnabled {
+		start = c.afterRefresh(gr, start)
+	}
+
+	if c.lastRank[ch] >= 0 && c.lastRank[ch] != rk {
+		start += c.tim.TRTR
+	}
+	// Data-bus turnaround between reads and writes (tWTR/tRTW).
+	if c.lastWrite[ch] != req.Write {
+		if req.Write {
+			start += c.tim.TRTW
+		} else {
+			start += c.tim.TWTR
+		}
+	}
+
+	rowHit := c.openRow[gr][bank] == row
+	var accessLat sim.Time
+	if rowHit {
+		accessLat = c.tim.TCL
+	} else {
+		accessLat = c.tim.TRP + c.tim.TRCD + c.tim.TCL
+		c.openRow[gr][bank] = row
+	}
+
+	done := start + accessLat + c.tim.TBL
+
+	busHold := c.tim.TCCD
+	if c.tim.TBL > busHold {
+		busHold = c.tim.TBL
+	}
+	c.busFree[ch] = busSlot + busHold
+	c.busyNs[ch] += busHold
+	c.lastRank[ch] = rk
+	c.lastWrite[ch] = req.Write
+	// Row hits stream CAS-to-CAS at TCCD; a row miss occupies the bank for
+	// the full activate cycle, with tRAS as the turnaround floor.
+	var bankBusyUntil sim.Time
+	if rowHit {
+		bankBusyUntil = start + c.tim.TCCD
+	} else {
+		bankBusyUntil = done
+		if min := start + c.tim.TRAS; min > bankBusyUntil {
+			bankBusyUntil = min
+		}
+	}
+	// Writes hold the bank through the write-recovery window before the
+	// row can be precharged or re-CASed.
+	if req.Write {
+		bankBusyUntil += c.tim.TWR
+	}
+	c.bankFree[gr][bank] = bankBusyUntil
+
+	c.window[gr].Accesses++
+	c.window[gr].Bytes += LineBytes
+	c.lifetime[gr].Accesses++
+	c.lifetime[gr].Bytes += LineBytes
+
+	return Result{Start: start, Done: done, RowHit: rowHit, WakeDelay: wake}
+}
+
+// EnableRefresh turns on periodic refresh stalls: each standby rank is
+// unavailable for TRFC every TREFI, staggered by rank so refreshes do not
+// align across the device.
+func (c *Controller) EnableRefresh() { c.refreshEnabled = true }
+
+// RefreshStalls reports how many requests were delayed by a refresh window.
+func (c *Controller) RefreshStalls() int64 { return c.refreshStalls }
+
+// afterRefresh pushes t past the rank's refresh window if it falls inside
+// one. Rank gr refreshes during [phase + k*TREFI, phase + k*TREFI + TRFC)
+// where phase staggers ranks evenly across the interval.
+func (c *Controller) afterRefresh(gr int, t sim.Time) sim.Time {
+	trefi, trfc := c.tim.TREFI, c.tim.TRFC
+	if trefi <= 0 || trfc <= 0 {
+		return t
+	}
+	phase := trefi * sim.Time(gr) / sim.Time(len(c.window))
+	offset := (t - phase) % trefi
+	if offset < 0 {
+		offset += trefi
+	}
+	if offset < trfc {
+		c.refreshStalls++
+		return t + (trfc - offset)
+	}
+	return t
+}
+
+// WindowStats returns the per-rank counters accumulated since the last
+// ResetWindow, indexed by global rank id.
+func (c *Controller) WindowStats() []RankStats {
+	out := make([]RankStats, len(c.window))
+	copy(out, c.window)
+	return out
+}
+
+// WindowAccesses reports the access count of a single rank this window.
+func (c *Controller) WindowAccesses(id dram.RankID) int64 {
+	return c.window[c.codec.GlobalRank(id.Channel, id.Rank)].Accesses
+}
+
+// ResetWindow clears the per-window counters (start of a profiling window).
+func (c *Controller) ResetWindow() {
+	for i := range c.window {
+		c.window[i] = RankStats{}
+	}
+}
+
+// LifetimeStats returns total per-rank counters, indexed by global rank id.
+func (c *Controller) LifetimeStats() []RankStats {
+	out := make([]RankStats, len(c.lifetime))
+	copy(out, c.lifetime)
+	return out
+}
+
+// TotalBytes reports all bytes transferred since construction.
+func (c *Controller) TotalBytes() int64 {
+	var n int64
+	for i := range c.lifetime {
+		n += c.lifetime[i].Bytes
+	}
+	return n
+}
+
+// Wakeups reports how many accesses found their rank in self-refresh.
+func (c *Controller) Wakeups() int64 { return c.wakeCount }
+
+// ChannelBusyUntil reports when the channel bus frees up; migration traffic
+// may issue at or after this time.
+func (c *Controller) ChannelBusyUntil(ch int) sim.Time { return c.busFree[ch] }
+
+// ChannelUtilization reports the fraction of wall-clock time the channel bus
+// was occupied over [0, now].
+func (c *Controller) ChannelUtilization(ch int, now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	u := float64(c.busyNs[ch]) / float64(now)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// PeakChannelBandwidthGBs reports the channel's peak deliverable bandwidth
+// implied by the timing model (one line per TCCD).
+func (c *Controller) PeakChannelBandwidthGBs() float64 {
+	hold := c.tim.TCCD
+	if c.tim.TBL > hold {
+		hold = c.tim.TBL
+	}
+	return float64(LineBytes) / float64(hold) // bytes per ns == GB/s
+}
+
+// IdleBandwidthGBs estimates the bandwidth left for background migration on
+// channel ch over [0, now], per §4.2: migration issues only when the
+// foreground queue is empty, so it harvests exactly the idle bus slots.
+func (c *Controller) IdleBandwidthGBs(ch int, now sim.Time) float64 {
+	return c.PeakChannelBandwidthGBs() * (1 - c.ChannelUtilization(ch, now))
+}
+
+// MigrationTime estimates the time to move bytes of segment data on channel
+// ch using only idle bandwidth measured up to now. A fully saturated channel
+// yields a floor of 5% of peak bandwidth (the scheduler still finds slack
+// between foreground bursts).
+func (c *Controller) MigrationTime(ch int, bytes int64, now sim.Time) sim.Time {
+	bw := c.IdleBandwidthGBs(ch, now)
+	if floor := 0.05 * c.PeakChannelBandwidthGBs(); bw < floor {
+		bw = floor
+	}
+	return sim.Time(float64(bytes) / bw)
+}
+
+func maxT(ts ...sim.Time) sim.Time {
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

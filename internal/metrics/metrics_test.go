@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(v, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(v, 100); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(v, 50); math.Abs(got-5.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 5.5", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("percentile of empty should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("geomean = %v, want 10", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("geomean with negatives should be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("geomean of empty should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	for _, v := range []float64{1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	f := h.Fractions()
+	// 1,5 < 10 ; 10,50 in [10,100) ; 1000 >= 100.
+	if f[0] != 0.4 || f[1] != 0.4 || f[2] != 0.2 {
+		t.Fatalf("fractions = %v", f)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram([]float64{10, 10})
+}
+
+func TestHistogramEmptyFractions(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	f := h.Fractions()
+	if f[0] != 0 || f[1] != 0 {
+		t.Fatalf("fractions = %v", f)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("beta\t%0.2f", 2.5)
+	tab.AddRow("gamma") // short row
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "2.50") {
+		t.Fatalf("formatted row = %q", lines[3])
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Fatalf("trailing space in %q", l)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package power integrates DRAM power over simulated schedules: per-rank
+// background power by state (from the dram package's ledger), active power
+// proportional to delivered bandwidth (Fig. 11b), and migration energy. It
+// produces the power/energy summaries behind Figures 11-15.
+package power
+
+import (
+	"fmt"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+// Sample is one point on a runtime power timeline (Fig. 12a).
+type Sample struct {
+	At sim.Time
+	// Background is the instantaneous background power in normalized units.
+	Background float64
+	// Active is the instantaneous active power in normalized units.
+	Active float64
+	// Migrating marks samples taken while segment migration was in flight.
+	Migrating bool
+}
+
+// Total reports the sample's total power.
+func (s Sample) Total() float64 { return s.Background + s.Active }
+
+// Meter accumulates energy over a timeline and records samples.
+type Meter struct {
+	model   dram.PowerModel
+	samples []Sample
+
+	bgEnergy     float64 // units x ns
+	activeEnergy float64
+	migEnergy    float64
+
+	lastAt     sim.Time
+	lastBg     float64
+	lastActive float64
+}
+
+// NewMeter builds a meter over the given power model.
+func NewMeter(model dram.PowerModel) *Meter {
+	return &Meter{model: model}
+}
+
+// Record advances the meter to now with the given instantaneous powers,
+// integrating the previous level over the elapsed span (left Riemann sum,
+// matching the paper's 5-minute interval recomputation).
+func (m *Meter) Record(now sim.Time, background, active float64, migrating bool) {
+	if now < m.lastAt {
+		panic(fmt.Sprintf("power: time going backwards: %v < %v", now, m.lastAt))
+	}
+	span := float64(now - m.lastAt)
+	m.bgEnergy += m.lastBg * span
+	m.activeEnergy += m.lastActive * span
+	m.lastAt = now
+	m.lastBg = background
+	m.lastActive = active
+	m.samples = append(m.samples, Sample{At: now, Background: background, Active: active, Migrating: migrating})
+}
+
+// AddMigrationEnergy charges extra active energy (units x ns) consumed by a
+// background segment migration burst.
+func (m *Meter) AddMigrationEnergy(e float64) {
+	if e < 0 {
+		panic("power: negative migration energy")
+	}
+	m.migEnergy += e
+	m.activeEnergy += e
+}
+
+// FinishAt closes the integration at the horizon.
+func (m *Meter) FinishAt(now sim.Time) { m.Record(now, 0, 0, false) }
+
+// Samples returns the recorded timeline.
+func (m *Meter) Samples() []Sample { return m.samples }
+
+// Energy reports accumulated energies in normalized units x ns.
+func (m *Meter) Energy() (background, active, migration float64) {
+	return m.bgEnergy, m.activeEnergy, m.migEnergy
+}
+
+// TotalEnergy reports background + active energy (migration is included in
+// active).
+func (m *Meter) TotalEnergy() float64 { return m.bgEnergy + m.activeEnergy }
+
+// MeanPower reports the time-averaged total power over [0, horizon].
+func (m *Meter) MeanPower(horizon sim.Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return m.TotalEnergy() / float64(horizon)
+}
+
+// ActiveForBandwidth converts a device bandwidth (GB/s) into active power
+// (normalized units) under the meter's model.
+func (m *Meter) ActiveForBandwidth(gbs float64) float64 { return m.model.Active(gbs) }
+
+// Breakdown summarizes an energy comparison between a baseline and a
+// technique run (Fig. 13).
+type Breakdown struct {
+	BaselineBackground float64
+	BaselineActive     float64
+	TechBackground     float64
+	TechActive         float64
+}
+
+// BackgroundSaving reports the fractional background-energy reduction.
+func (b Breakdown) BackgroundSaving() float64 {
+	if b.BaselineBackground == 0 {
+		return 0
+	}
+	return 1 - b.TechBackground/b.BaselineBackground
+}
+
+// TotalSaving reports the fractional total-energy reduction.
+func (b Breakdown) TotalSaving() float64 {
+	base := b.BaselineBackground + b.BaselineActive
+	if base == 0 {
+		return 0
+	}
+	return 1 - (b.TechBackground+b.TechActive)/base
+}

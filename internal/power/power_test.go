@@ -1,0 +1,129 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"dtl/internal/dram"
+)
+
+func TestMeterIntegration(t *testing.T) {
+	m := NewMeter(dram.DefaultPowerModel())
+	m.Record(0, 10, 2, false)
+	m.Record(100, 20, 4, false)
+	m.Record(300, 0, 0, false)
+	bg, act, mig := m.Energy()
+	if bg != 10*100+20*200 {
+		t.Errorf("background energy = %v, want 5000", bg)
+	}
+	if act != 2*100+4*200 {
+		t.Errorf("active energy = %v, want 1000", act)
+	}
+	if mig != 0 {
+		t.Errorf("migration energy = %v", mig)
+	}
+	if got := m.TotalEnergy(); got != bg+act {
+		t.Errorf("total = %v", got)
+	}
+	if got := m.MeanPower(300); math.Abs(got-(bg+act)/300) > 1e-9 {
+		t.Errorf("mean power = %v", got)
+	}
+}
+
+func TestMeterMigrationEnergy(t *testing.T) {
+	m := NewMeter(dram.DefaultPowerModel())
+	m.Record(0, 1, 0, false)
+	m.AddMigrationEnergy(500)
+	m.FinishAt(1000)
+	bg, act, mig := m.Energy()
+	if bg != 1000 || act != 500 || mig != 500 {
+		t.Errorf("energies = %v %v %v", bg, act, mig)
+	}
+}
+
+func TestMeterBackwardsTimePanics(t *testing.T) {
+	m := NewMeter(dram.DefaultPowerModel())
+	m.Record(100, 1, 1, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Record(50, 1, 1, false)
+}
+
+func TestNegativeMigrationEnergyPanics(t *testing.T) {
+	m := NewMeter(dram.DefaultPowerModel())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.AddMigrationEnergy(-1)
+}
+
+func TestSamplesRecorded(t *testing.T) {
+	m := NewMeter(dram.DefaultPowerModel())
+	m.Record(0, 5, 1, false)
+	m.Record(10, 6, 2, true)
+	s := m.Samples()
+	if len(s) != 2 {
+		t.Fatalf("samples = %d", len(s))
+	}
+	if s[1].Total() != 8 || !s[1].Migrating {
+		t.Fatalf("sample = %+v", s[1])
+	}
+}
+
+func TestActiveForBandwidth(t *testing.T) {
+	m := NewMeter(dram.DefaultPowerModel())
+	if got, want := m.ActiveForBandwidth(10), dram.DefaultPowerModel().Active(10); got != want {
+		t.Fatalf("active for bw = %v, want %v", got, want)
+	}
+}
+
+func TestBreakdownSavings(t *testing.T) {
+	b := Breakdown{
+		BaselineBackground: 100,
+		BaselineActive:     50,
+		TechBackground:     60,
+		TechActive:         48,
+	}
+	if got := b.BackgroundSaving(); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("background saving = %v, want 0.4", got)
+	}
+	if got := b.TotalSaving(); math.Abs(got-(1-108.0/150.0)) > 1e-9 {
+		t.Errorf("total saving = %v", got)
+	}
+	var zero Breakdown
+	if zero.BackgroundSaving() != 0 || zero.TotalSaving() != 0 {
+		t.Error("zero breakdown should report zero savings")
+	}
+}
+
+func TestMeanPowerZeroHorizon(t *testing.T) {
+	m := NewMeter(dram.DefaultPowerModel())
+	if m.MeanPower(0) != 0 {
+		t.Fatal("mean power at zero horizon should be 0")
+	}
+}
+
+func TestSampleMigratingFlagPreserved(t *testing.T) {
+	m := NewMeter(dram.DefaultPowerModel())
+	m.Record(0, 1, 0, true)
+	m.Record(10, 1, 0, false)
+	s := m.Samples()
+	if !s[0].Migrating || s[1].Migrating {
+		t.Fatalf("migrating flags = %v %v", s[0].Migrating, s[1].Migrating)
+	}
+}
+
+func TestFinishAtClosesIntegration(t *testing.T) {
+	m := NewMeter(dram.DefaultPowerModel())
+	m.Record(0, 2, 1, false)
+	m.FinishAt(500)
+	bg, act, _ := m.Energy()
+	if bg != 1000 || act != 500 {
+		t.Fatalf("energies = %v/%v, want 1000/500", bg, act)
+	}
+}

@@ -1,0 +1,168 @@
+// Package sim provides a small discrete-event simulation core used by the
+// DRAM, memory-controller, and DTL models: a virtual nanosecond clock, a
+// binary-heap event queue, and repeating interval timers.
+//
+// All simulated time in this repository is expressed in integer nanoseconds
+// (type Time). The simulation is single-threaded and deterministic: events
+// scheduled for the same instant fire in insertion order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, in nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a callback scheduled to run at a specific virtual time.
+type Event func(now Time)
+
+type scheduledEvent struct {
+	at   Time
+	seq  uint64 // tiebreaker: insertion order
+	fire Event
+}
+
+type eventHeap []scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(scheduledEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator.
+// The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an Engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at the absolute virtual time at.
+// Scheduling in the past panics: it would violate causality and always
+// indicates a model bug.
+func (e *Engine) At(at Time, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, scheduledEvent{at: at, seq: e.seq, fire: fn})
+}
+
+// After schedules fn to run delay nanoseconds from now.
+func (e *Engine) After(delay Time, fn Event) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Every schedules fn to run every period, starting one period from now,
+// until the returned cancel function is called. A non-positive period panics.
+func (e *Engine) Every(period Time, fn Event) (cancel func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	stopped := false
+	var tick Event
+	tick = func(now Time) {
+		if stopped {
+			return
+		}
+		fn(now)
+		if !stopped {
+			e.After(period, tick)
+		}
+	}
+	e.After(period, tick)
+	return func() { stopped = true }
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(scheduledEvent)
+	e.now = ev.at
+	ev.fire(e.now)
+	return true
+}
+
+// Run fires events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ deadline, then advances the clock to
+// deadline (even if no event was pending there).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// Advance moves the clock forward by d without firing events scheduled in
+// between; it panics if any such event exists. Use it only in models that
+// manage their own timelines (e.g. trace replay) between event batches.
+func (e *Engine) Advance(d Time) {
+	target := e.now + d
+	if len(e.events) > 0 && e.events[0].at < target {
+		panic(fmt.Sprintf("sim: Advance(%v) would skip event at %v", d, e.events[0].at))
+	}
+	e.now = target
+}

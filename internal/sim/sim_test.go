@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		5:               "5ns",
+		1500:            "1.500us",
+		2 * Millisecond: "2.000ms",
+		3 * Second:      "3.000s",
+		90 * Second:     "90.000s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds = %v", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func(Time) { order = append(order, 3) })
+	e.At(10, func(Time) { order = append(order, 1) })
+	e.At(20, func(Time) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("now = %v, want 30", e.Now())
+	}
+}
+
+func TestSameTimeInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("insertion order violated: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.After(50, func(now Time) {
+		fired = now
+		e.After(25, func(now Time) { fired = now })
+	})
+	e.Run()
+	if fired != 75 {
+		t.Fatalf("nested After fired at %v, want 75", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.At(50, func(Time) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.After(-1, func(Time) {})
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var cancel func()
+	cancel = e.Every(10, func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 3 {
+			cancel()
+		}
+	})
+	e.RunUntil(1000)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 at 10,20,30", ticks)
+	}
+	for i, want := range []Time{10, 20, 30} {
+		if ticks[i] != want {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want)
+		}
+	}
+}
+
+func TestEveryNonPositivePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Every(0, func(Time) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func(Time) { fired++ })
+	e.At(20, func(Time) { fired++ })
+	e.At(30, func(Time) { fired++ })
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("now = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 3 || e.Now() != 30 {
+		t.Fatalf("after Run: fired=%d now=%v", fired, e.Now())
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Fatalf("now = %v, want 500", e.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	e := NewEngine()
+	e.Advance(100)
+	if e.Now() != 100 {
+		t.Fatalf("now = %v", e.Now())
+	}
+	e.At(500, func(Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when skipping events")
+		}
+	}()
+	e.Advance(1000)
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}

@@ -1,0 +1,87 @@
+package trace
+
+import "testing"
+
+func TestDriftValidation(t *testing.T) {
+	p, _ := ProfileByName("web-search")
+	p.DriftPeriod = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative drift period accepted")
+	}
+	p, _ = ProfileByName("web-search")
+	p.DriftFraction = 1.5
+	if err := p.Validate(); err == nil {
+		t.Fatal("drift fraction > 1 accepted")
+	}
+}
+
+func TestNoDriftKeepsHotSetStable(t *testing.T) {
+	p, _ := ProfileByName("data-caching")
+	p.FootprintBytes = 256 << 20
+	g := MustGenerator(p, 5)
+	seen1 := hotSegmentsTouched(g, 50_000)
+	seen2 := hotSegmentsTouched(g, 50_000)
+	overlap := overlapFraction(seen1, seen2)
+	if overlap < 0.5 {
+		t.Fatalf("static hot set overlap %.2f, want high", overlap)
+	}
+}
+
+func TestDriftRotatesHotSet(t *testing.T) {
+	p, _ := ProfileByName("data-caching")
+	p.FootprintBytes = 256 << 20
+	p.DriftPeriod = 10_000
+	p.DriftFraction = 0.5
+	g := MustGenerator(p, 5)
+	seen1 := hotSegmentsTouched(g, 50_000)
+	// Burn several drift periods.
+	for i := 0; i < 200_000; i++ {
+		g.Next()
+	}
+	seen2 := hotSegmentsTouched(g, 50_000)
+	drifted := overlapFraction(seen1, seen2)
+
+	pStatic := p
+	pStatic.DriftPeriod = 0
+	gs := MustGenerator(pStatic, 5)
+	s1 := hotSegmentsTouched(gs, 50_000)
+	for i := 0; i < 200_000; i++ {
+		gs.Next()
+	}
+	s2 := hotSegmentsTouched(gs, 50_000)
+	static := overlapFraction(s1, s2)
+
+	if drifted >= static {
+		t.Fatalf("drifted overlap %.2f not below static %.2f", drifted, static)
+	}
+}
+
+// hotSegmentsTouched returns the set of segments receiving at least 1% of
+// the window's accesses (the hot head).
+func hotSegmentsTouched(g *Generator, n int) map[int64]bool {
+	counts := map[int64]int{}
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		counts[a.Addr/SegmentBytes]++
+	}
+	out := map[int64]bool{}
+	for seg, c := range counts {
+		if c >= n/100 {
+			out[seg] = true
+		}
+	}
+	return out
+}
+
+func overlapFraction(a, b map[int64]bool) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	n := 0
+	for seg := range a {
+		if b[seg] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a))
+}

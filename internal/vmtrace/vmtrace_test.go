@@ -1,0 +1,220 @@
+package vmtrace
+
+import (
+	"testing"
+
+	"dtl/internal/sim"
+)
+
+func TestGenerateDeterministicAndSorted(t *testing.T) {
+	cfg := DefaultGenConfig()
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != cfg.NumVMs {
+		t.Fatalf("generated %d VMs, want %d", len(a), cfg.NumVMs)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic generation at %d", i)
+		}
+		if i > 0 && a[i].Arrival < a[i-1].Arrival {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+	}
+}
+
+func TestGeneratedVMShapes(t *testing.T) {
+	vms := Generate(DefaultGenConfig())
+	for _, vm := range vms {
+		if vm.VCPUs < 1 || vm.VCPUs > 24 {
+			t.Fatalf("vm %d has %d vcpus", vm.ID, vm.VCPUs)
+		}
+		gbPerVCPU := float64(vm.MemBytes) / float64(vm.VCPUs) / (1 << 30)
+		if gbPerVCPU < 2 || gbPerVCPU > 8 {
+			t.Fatalf("vm %d has %.1f GB/vCPU, want 2-8", vm.ID, gbPerVCPU)
+		}
+		if vm.MemBytes%(2<<30) != 0 {
+			t.Fatalf("vm %d memory %d not a multiple of the 2GB AU", vm.ID, vm.MemBytes)
+		}
+		// Pre-scheduling, End stashes the lifetime: a multiple of 5 min.
+		if vm.End%Interval != 0 || vm.End <= 0 {
+			t.Fatalf("vm %d lifetime %v not a positive multiple of 5min", vm.ID, vm.End)
+		}
+		if vm.Arrival%Interval != 0 {
+			t.Fatalf("vm %d arrival %v not interval aligned", vm.ID, vm.Arrival)
+		}
+	}
+}
+
+func TestWorkloadAssignment(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Workloads = []string{"a", "b", "c"}
+	vms := Generate(cfg)
+	seen := map[string]int{}
+	for _, vm := range vms {
+		seen[vm.Workload]++
+	}
+	for _, w := range cfg.Workloads {
+		if seen[w] == 0 {
+			t.Fatalf("workload %s never assigned", w)
+		}
+	}
+}
+
+func TestScheduleRespectsCapacity(t *testing.T) {
+	vms := Generate(DefaultGenConfig())
+	srv := DefaultServer()
+	_, snaps, err := Schedule(vms, srv, 6*sim.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != int(6*sim.Hour/Interval)+1 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	for _, s := range snaps {
+		if s.UsedVCPUs > srv.VCPUs {
+			t.Fatalf("at %v: %d vcpus used > %d", s.At, s.UsedVCPUs, srv.VCPUs)
+		}
+		if s.UsedMem > srv.MemBytes {
+			t.Fatalf("at %v: %d mem used > %d", s.At, s.UsedMem, srv.MemBytes)
+		}
+		if s.UsedVCPUs < 0 || s.UsedMem < 0 {
+			t.Fatalf("negative usage at %v: %+v", s.At, s)
+		}
+	}
+}
+
+func TestFig1MeanUtilizationBelowHalf(t *testing.T) {
+	// The paper's Figure 1 headline: average memory capacity usage < 50%.
+	vms := Generate(DefaultGenConfig())
+	srv := DefaultServer()
+	_, snaps, err := Schedule(vms, srv, 6*sim.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := MeanMemUtilization(snaps, srv)
+	if mean <= 0.10 || mean >= 0.50 {
+		t.Fatalf("mean memory utilization %.3f, want in (0.10, 0.50)", mean)
+	}
+	if peak := PeakMemUtilization(snaps, srv); peak > 1.0 {
+		t.Fatalf("peak utilization %.3f > 1", peak)
+	}
+}
+
+func TestScheduleEventsConsistent(t *testing.T) {
+	vms := Generate(DefaultGenConfig())
+	srv := DefaultServer()
+	events, _, err := Schedule(vms, srv, 6*sim.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := map[int]bool{}
+	for i, ev := range events {
+		if i > 0 && events[i].At < events[i-1].At {
+			t.Fatalf("events not chronological at %d", i)
+		}
+		if ev.Depart {
+			if !placed[ev.VM.ID] {
+				t.Fatalf("vm %d departed before arrival", ev.VM.ID)
+			}
+			placed[ev.VM.ID] = false
+		} else {
+			if placed[ev.VM.ID] {
+				t.Fatalf("vm %d placed twice", ev.VM.ID)
+			}
+			placed[ev.VM.ID] = true
+			if ev.VM.End <= ev.VM.Start {
+				t.Fatalf("vm %d has non-positive scheduled lifetime", ev.VM.ID)
+			}
+			if ev.VM.Lifetime()%Interval != 0 {
+				t.Fatalf("vm %d lifetime %v not interval aligned", ev.VM.ID, ev.VM.Lifetime())
+			}
+		}
+	}
+}
+
+func TestScheduleInvalidServer(t *testing.T) {
+	if _, _, err := Schedule(nil, Server{}, sim.Hour); err == nil {
+		t.Fatal("invalid server accepted")
+	}
+}
+
+func TestUtilizationHelpersEmpty(t *testing.T) {
+	if got := MeanMemUtilization(nil, DefaultServer()); got != 0 {
+		t.Fatalf("mean on empty = %v", got)
+	}
+	if got := PeakMemUtilization(nil, DefaultServer()); got != 0 {
+		t.Fatalf("peak on empty = %v", got)
+	}
+}
+
+func TestLifetimeDistributionHeavyTailed(t *testing.T) {
+	// Most VMs are short-lived; a tail runs for hours.
+	vms := Generate(GenConfig{NumVMs: 2000, Horizon: 6 * sim.Hour, Seed: 3})
+	short, long := 0, 0
+	for _, vm := range vms {
+		life := vm.End // pre-schedule: End stashes the lifetime
+		if life <= 2*Interval {
+			short++
+		}
+		if life >= 24*Interval {
+			long++
+		}
+	}
+	if short < len(vms)/3 {
+		t.Fatalf("short-lived share %d/%d too low", short, len(vms))
+	}
+	if long == 0 {
+		t.Fatal("no long-lived tail")
+	}
+	if long > short {
+		t.Fatal("distribution not heavy-tailed toward short lifetimes")
+	}
+}
+
+func TestSmallVMsDominate(t *testing.T) {
+	vms := Generate(GenConfig{NumVMs: 2000, Horizon: 6 * sim.Hour, Seed: 4})
+	small := 0
+	for _, vm := range vms {
+		if vm.VCPUs <= 2 {
+			small++
+		}
+	}
+	if small < len(vms)/2 {
+		t.Fatalf("small-VM share %d/%d below half (Azure-like populations are small-VM dominated)", small, len(vms))
+	}
+}
+
+func TestQueuedVMsEventuallyPlaced(t *testing.T) {
+	// Overload the server: every generated VM must still be placed at most
+	// once and never double-departed, even if delayed.
+	cfg := GenConfig{NumVMs: 300, Horizon: 2 * sim.Hour, Seed: 5}
+	vms := Generate(cfg)
+	srv := Server{VCPUs: 8, MemBytes: 64 << 30} // tiny server forces queueing
+	events, _, err := Schedule(vms, srv, cfg.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := map[int]int{}
+	departed := map[int]int{}
+	for _, ev := range events {
+		if ev.Depart {
+			departed[ev.VM.ID]++
+		} else {
+			placed[ev.VM.ID]++
+		}
+	}
+	for id, n := range placed {
+		if n != 1 {
+			t.Fatalf("vm %d placed %d times", id, n)
+		}
+		if departed[id] > 1 {
+			t.Fatalf("vm %d departed %d times", id, departed[id])
+		}
+	}
+	for id := range departed {
+		if placed[id] == 0 {
+			t.Fatalf("vm %d departed without being placed", id)
+		}
+	}
+}
