@@ -7,6 +7,12 @@
 //	dtlsim -exp fig12            # one experiment, full scale
 //	dtlsim -exp all -quick       # everything, reduced scale
 //	dtlsim -exp fig14 -seed 7
+//	dtlsim -exp fig12 -quick -trace t.json -metrics m.csv -sample 1ms
+//
+// -trace writes a Chrome trace_event JSON of the run (open in Perfetto or
+// chrome://tracing); -metrics samples every registry metric into a CSV time
+// series; -sample sets the virtual-time sampling period (0 = a default
+// matched to the experiment's horizon). Summarize a trace with cmd/dtlstat.
 package main
 
 import (
@@ -16,8 +22,10 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"dtl/internal/experiments"
+	"dtl/internal/sim"
 )
 
 func main() {
@@ -28,8 +36,17 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		jsonOut = flag.Bool("json", false, "emit results as JSON (suppresses tables)")
 		csvDir  = flag.String("csv", "", "directory for plot-ready CSV series (fig1/fig9/fig12/fig14)")
+		trace   = flag.String("trace", "", "write a Chrome trace_event JSON of the run (fig9/fig12/fig13/fig14)")
+		metrics = flag.String("metrics", "", "write sampled registry metrics as CSV")
+		sample  = flag.String("sample", "0", "virtual-time metrics sampling period (e.g. 1ms; 0 = per-experiment default)")
 	)
 	flag.Parse()
+
+	samplePeriod, err := time.ParseDuration(*sample)
+	if err != nil || samplePeriod < 0 {
+		fmt.Fprintf(os.Stderr, "dtlsim: bad -sample %q: want a duration like 1ms\n", *sample)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, r := range experiments.All() {
@@ -42,7 +59,11 @@ func main() {
 	if *jsonOut {
 		out = io.Discard
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Out: out, CSVDir: *csvDir}
+	opts := experiments.Options{
+		Quick: *quick, Seed: *seed, Out: out, CSVDir: *csvDir,
+		TracePath: *trace, MetricsPath: *metrics,
+		SamplePeriod: sim.Time(samplePeriod.Nanoseconds()),
+	}
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {

@@ -1,0 +1,136 @@
+// Command dtlstat summarizes a Chrome trace_event JSON file produced by
+// dtlsim -trace: per-rank residency in each power state, migration-latency
+// percentiles, and counts of the remaining instrumented events.
+//
+// Usage:
+//
+//	dtlstat trace.json
+//	dtlsim -exp fig12 -quick -trace t.json && dtlstat t.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dtl/internal/metrics"
+	"dtl/internal/telemetry"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dtlstat <trace.json>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtlstat:", err)
+		os.Exit(1)
+	}
+	s, err := telemetry.SummarizeChromeTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtlstat:", err)
+		os.Exit(1)
+	}
+	if len(s.Residency) == 0 {
+		fmt.Fprintln(os.Stderr, "dtlstat: no power spans in trace")
+		os.Exit(1)
+	}
+
+	ranks := make([]int, 0, len(s.Residency))
+	for rank := range s.Residency {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	states := stateColumns(s)
+
+	fmt.Printf("power-state residency (%d ranks, run %.3f s)\n\n",
+		len(ranks), s.RankDuration(ranks[0])/1e6)
+	header := append([]string{"rank"}, states...)
+	tab := metrics.NewTable(append(header, "total_s")...)
+	for _, rank := range ranks {
+		total := s.RankDuration(rank)
+		cells := []string{rankLabel(s, rank)}
+		for _, st := range states {
+			cells = append(cells, sharePct(s.Residency[rank][st], total))
+		}
+		cells = append(cells, fmt.Sprintf("%.3f", total/1e6))
+		tab.AddRow(cells...)
+	}
+	tab.Render(os.Stdout)
+
+	fmt.Printf("\nmigrations: %d", len(s.MigrationsUs))
+	if len(s.MigrationsUs) > 0 {
+		sum := metrics.Summarize(s.MigrationsUs)
+		fmt.Printf("  latency us: P50 %.1f  P95 %.1f  P99 %.1f  max %.1f",
+			sum.P50, sum.P95, sum.P99, sum.Max)
+	}
+	fmt.Println()
+	if len(s.MigrationReasons) > 0 {
+		reasons := make([]string, 0, len(s.MigrationReasons))
+		for r := range s.MigrationReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Printf("  %-18s %d\n", r, s.MigrationReasons[r])
+		}
+	}
+
+	if len(s.Points) > 0 {
+		fmt.Println("\nevents:")
+		names := make([]string, 0, len(s.Points))
+		for n := range s.Points {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-18s %d\n", n, s.Points[n])
+		}
+	}
+}
+
+// stateColumns lists the power states to render: the canonical DRAM states
+// in their usual order (always shown, even at zero residency) followed by
+// any other state names the trace carries.
+func stateColumns(s *telemetry.TraceSummary) []string {
+	cols := []string{"standby", "self-refresh", "mpsm"}
+	known := map[string]bool{}
+	for _, c := range cols {
+		known[c] = true
+	}
+	for _, st := range s.States() {
+		if !known[st] {
+			cols = append(cols, st)
+		}
+	}
+	return cols
+}
+
+// rankLabel prefers the recorded thread name ("ch0/rk3"); falls back to the
+// numeric tid.
+func rankLabel(s *telemetry.TraceSummary, rank int) string {
+	if name, ok := s.RankNames[rank]; ok && name != "" {
+		return name
+	}
+	return fmt.Sprintf("rk%d", rank)
+}
+
+// sharePct renders a residency share of the rank's total time.
+func sharePct(us, total float64) string {
+	if total <= 0 {
+		return "-"
+	}
+	if us == 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*us/total)
+}

@@ -25,6 +25,7 @@ import (
 	"dtl/internal/cxl"
 	"dtl/internal/dram"
 	"dtl/internal/sim"
+	"dtl/internal/telemetry"
 )
 
 // Re-exported domain types, so callers need only this package.
@@ -234,6 +235,30 @@ func (d *Device) LiveVMs() int { return d.dtl.LiveVMs() }
 // Core exposes the underlying translation layer for advanced callers
 // (experiments, tests).
 func (d *Device) Core() *core.DTL { return d.dtl }
+
+// Telemetry re-exports, so observability consumers need only this package.
+type (
+	// Registry is the device's hierarchical metrics registry.
+	Registry = telemetry.Registry
+	// Tracer records structured events and per-rank power timelines.
+	Tracer = telemetry.Tracer
+)
+
+// Registry returns the device's always-on metrics registry. Every counter
+// behind Stats() lives here; callers may add their own metrics and sample
+// the registry on a sim interval timer (Registry.StartSampling).
+func (d *Device) Registry() *Registry { return d.dtl.Registry() }
+
+// StartTrace attaches a new event tracer sized for this device (capacity 0
+// selects the default ring size) and returns it. Call Finish on the tracer
+// at the run horizon, then export with telemetry.WriteChromeTrace,
+// WriteJSONL, or WriteEventsCSV. Tracing costs nothing until started.
+func (d *Device) StartTrace(capacity int, now Time) *Tracer {
+	return d.dtl.StartTrace(capacity, now)
+}
+
+// StopTrace detaches the current tracer, restoring the zero-cost path.
+func (d *Device) StopTrace() { d.dtl.AttachTracer(nil) }
 
 // CheckInvariants verifies internal consistency (for tests).
 func (d *Device) CheckInvariants() error { return d.dtl.CheckInvariants() }

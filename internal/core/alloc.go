@@ -195,7 +195,7 @@ func (d *DTL) reactivateOne(now sim.Time) bool {
 	for _, id := range group {
 		d.dev.SetState(id, dram.Standby, now)
 	}
-	d.stats.ReactivateEvents++
+	d.st.reactivateEvents.Inc()
 	return true
 }
 

@@ -6,6 +6,7 @@ import (
 	"dtl/internal/dram"
 	"dtl/internal/memctrl"
 	"dtl/internal/sim"
+	"dtl/internal/telemetry"
 )
 
 // VMID identifies a virtual machine instance across hosts.
@@ -62,7 +63,38 @@ type DTL struct {
 	mig   *migrator
 	scrub *Scrubber
 
-	stats Stats
+	// reg is the always-on metrics registry backing every DTL counter; the
+	// Stats accessor is a thin view over it. tracer is nil unless a caller
+	// attached one (tracing is zero-cost when disabled).
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	st     statCounters
+}
+
+// statCounters are the registry-backed counters behind the Stats view.
+type statCounters struct {
+	accesses, translationNs, missPathWalks *telemetry.Counter
+	powerDownEvents, reactivateEvents      *telemetry.Counter
+	segmentsMigrated, segmentsSwapped      *telemetry.Counter
+	bytesMigrated                          *telemetry.Counter
+	selfRefreshEnters, selfRefreshExits    *telemetry.Counter
+	ranksRetired                           *telemetry.Counter
+}
+
+func newStatCounters(reg *telemetry.Registry) statCounters {
+	return statCounters{
+		accesses:          reg.Counter("core.accesses"),
+		translationNs:     reg.Counter("core.translation_ns"),
+		missPathWalks:     reg.Counter("core.smc.miss_path_walks"),
+		powerDownEvents:   reg.Counter("core.powerdown.events"),
+		reactivateEvents:  reg.Counter("core.powerdown.reactivations"),
+		segmentsMigrated:  reg.Counter("core.migration.segments_migrated"),
+		segmentsSwapped:   reg.Counter("core.migration.segments_swapped"),
+		bytesMigrated:     reg.Counter("core.migration.bytes"),
+		selfRefreshEnters: reg.Counter("core.selfrefresh.enters"),
+		selfRefreshExits:  reg.Counter("core.selfrefresh.exits"),
+		ranksRetired:      reg.Counter("core.ranks_retired"),
+	}
 }
 
 type vmState struct {
@@ -121,7 +153,10 @@ func NewWithDevice(cfg Config, dev *dram.Device) (*DTL, error) {
 		allocated: make([]int64, g.TotalRanks()),
 		vms:       make(map[VMID]*vmState),
 		auFree:    make([][]int64, cfg.MaxHosts),
+		reg:       telemetry.NewRegistry(),
 	}
+	d.st = newStatCounters(d.reg)
+	d.ctrl.RegisterMetrics(d.reg)
 	for i := range d.revMap {
 		d.revMap[i] = dsnFree
 	}
@@ -142,8 +177,88 @@ func NewWithDevice(cfg Config, dev *dram.Device) (*DTL, error) {
 	}
 	d.hot = newHotness(d)
 	d.mig = newMigrator(d)
+	d.registerGauges()
 	return d, nil
 }
+
+// registerGauges attaches derived time-series gauges over live model state:
+// migration queue depth per channel, rank power-state populations, live VM
+// count. Sampled together with the counters, they make every metric a
+// virtual-time series.
+func (d *DTL) registerGauges() {
+	g := d.cfg.Geometry
+	for ch := 0; ch < g.Channels; ch++ {
+		ch := ch
+		d.reg.GaugeFunc(fmt.Sprintf("memctrl.ch%d.migq_depth", ch), func() float64 {
+			return float64(len(d.mig.windows[ch]))
+		})
+	}
+	d.reg.GaugeFunc("core.migq.outstanding", func() float64 {
+		return float64(d.Migrator().Outstanding())
+	})
+	d.reg.GaugeFunc("core.live_vms", func() float64 {
+		return float64(len(d.vms))
+	})
+	d.reg.GaugeFunc("dev.power.background_units", func() float64 {
+		return d.dev.BackgroundPowerNow()
+	})
+	for st := dram.Standby; st <= dram.MPSM; st++ {
+		st := st
+		d.reg.GaugeFunc("dev.ranks."+st.String(), func() float64 {
+			return float64(d.dev.CountByState()[st])
+		})
+	}
+}
+
+// Registry exposes the DTL's always-on metrics registry so callers can add
+// their own metrics, sample it on a sim interval timer, and export CSV.
+func (d *DTL) Registry() *telemetry.Registry { return d.reg }
+
+// AttachTracer installs tr as the event tracer for this DTL and wires the
+// device's power-transition hook into it. Passing nil detaches tracing and
+// restores the zero-cost path.
+func (d *DTL) AttachTracer(tr *telemetry.Tracer) {
+	d.tracer = tr
+	if tr == nil {
+		d.dev.OnTransition(nil)
+		return
+	}
+	d.dev.OnTransition(func(id dram.RankID, from, to dram.PowerState, at, ready sim.Time) {
+		tr.PowerTransition(d.codec.GlobalRank(id.Channel, id.Rank), int(to), at)
+	})
+}
+
+// StartTrace builds a tracer sized for this device (one power timeline per
+// global rank, capacity 0 selecting the default ring size), attaches it, and
+// returns it. The caller must call Finish on the tracer at the run horizon
+// before exporting.
+func (d *DTL) StartTrace(capacity int, now sim.Time) *telemetry.Tracer {
+	g := d.cfg.Geometry
+	tr := telemetry.NewTracer(telemetry.TracerConfig{
+		Ranks:    g.TotalRanks(),
+		Channels: g.Channels,
+		StateNames: []string{
+			dram.Standby.String(), dram.SelfRefresh.String(), dram.MPSM.String(),
+		},
+		InitialState: int(dram.Standby),
+		Capacity:     capacity,
+		Start:        now,
+	})
+	// Ranks already away from standby (e.g. tracing started mid-run) seed
+	// their timelines with a transition at the trace origin.
+	for ch := 0; ch < g.Channels; ch++ {
+		for rk := 0; rk < g.RanksPerChannel; rk++ {
+			if st := d.dev.State(dram.RankID{Channel: ch, Rank: rk}); st != dram.Standby {
+				tr.PowerTransition(d.codec.GlobalRank(ch, rk), int(st), now)
+			}
+		}
+	}
+	d.AttachTracer(tr)
+	return tr
+}
+
+// Tracer reports the attached tracer (nil when tracing is off).
+func (d *DTL) Tracer() *telemetry.Tracer { return d.tracer }
 
 // fillDefaults copies default values into zero-valued cfg fields.
 func fillDefaults(cfg *Config, def Config) {
@@ -203,8 +318,23 @@ func (d *DTL) Device() *dram.Device { return d.dev }
 // Controller returns the memory controller.
 func (d *DTL) Controller() *memctrl.Controller { return d.ctrl }
 
-// Stats returns a snapshot of DTL counters.
-func (d *DTL) Stats() Stats { return d.stats }
+// Stats returns a snapshot of DTL counters. It is a thin view over the
+// telemetry registry, which owns the live counters.
+func (d *DTL) Stats() Stats {
+	return Stats{
+		Accesses:          d.st.accesses.Value(),
+		TranslationNs:     d.st.translationNs.Value(),
+		MissPathWalks:     d.st.missPathWalks.Value(),
+		PowerDownEvents:   d.st.powerDownEvents.Value(),
+		ReactivateEvents:  d.st.reactivateEvents.Value(),
+		SegmentsMigrated:  d.st.segmentsMigrated.Value(),
+		SegmentsSwapped:   d.st.segmentsSwapped.Value(),
+		BytesMigrated:     d.st.bytesMigrated.Value(),
+		SelfRefreshEnters: d.st.selfRefreshEnters.Value(),
+		SelfRefreshExits:  d.st.selfRefreshExits.Value(),
+		RanksRetired:      d.st.ranksRetired.Value(),
+	}
+}
 
 // SMCStats returns segment-mapping-cache hit/miss counters.
 func (d *DTL) SMCStats() SMCStats { return d.smc.stats() }
@@ -263,7 +393,8 @@ func (d *DTL) Access(hpa dram.HPA, write bool, now sim.Time) (AccessResult, erro
 		dsn = mapped
 		tlat = d.cfg.L1SMCHit + d.cfg.L2SMCHit + 2*d.cfg.SRAMTableHit + d.cfg.DRAMTableMiss
 		d.smc.install(hsn, dsn)
-		d.stats.MissPathWalks++
+		d.st.missPathWalks.Inc()
+		d.tracer.SMCMiss(now)
 	}
 
 	// Consistency: a cached translation must agree with the table.
@@ -285,13 +416,14 @@ func (d *DTL) Access(hpa dram.HPA, write bool, now sim.Time) (AccessResult, erro
 	res := d.ctrl.Access(memctrl.Request{Addr: dpa, Write: write, Arrive: now + tlat})
 
 	if wasSR {
-		d.stats.SelfRefreshExits++
+		d.st.selfRefreshExits.Inc()
+		d.tracer.Wake(d.codec.GlobalRank(loc.Channel, loc.Rank), now, res.WakeDelay)
 		d.hot.onSelfRefreshWake(id, now)
 	}
 	d.hot.onAccess(dsn, loc, now)
 
-	d.stats.Accesses++
-	d.stats.TranslationNs += int64(tlat)
+	d.st.accesses.Inc()
+	d.st.translationNs.Add(int64(tlat))
 
 	return AccessResult{
 		DPA:             dpa,

@@ -327,14 +327,14 @@ func (h *hotness) executeMigration(c int, now sim.Time) {
 		}
 		h.applySwap(v, p, now)
 		h.stats.SwappedSegments++
-		h.d.stats.SegmentsSwapped++
+		h.d.st.segmentsSwapped.Inc()
 	}
 	// Re-initialize the migration table for the channel (plan + bits).
 	h.resetChannelPlan(c)
 
 	id := dram.RankID{Channel: c, Rank: victim}
 	h.d.dev.SetState(id, dram.SelfRefresh, now)
-	h.d.stats.SelfRefreshEnters++
+	h.d.st.selfRefreshEnters.Inc()
 	h.stats.Migrations++
 
 	// Restart profiling to hunt for the next victim among remaining
@@ -361,8 +361,8 @@ func (h *hotness) applySwap(a, b dram.DSN, now sim.Time) {
 		d.revMap[a], d.revMap[b] = hb, ha
 		d.smc.invalidate(ha)
 		d.smc.invalidate(hb)
-		d.mig.enqueueSwap(a, b, now)
-		d.stats.BytesMigrated += 2 * d.cfg.Geometry.SegmentBytes
+		d.mig.enqueueSwap(a, b, now, "hotness-swap")
+		d.st.bytesMigrated.Add(2 * d.cfg.Geometry.SegmentBytes)
 	case ha != dsnFree: // move a -> b; slot a becomes free
 		d.segMap[ha] = b
 		d.revMap[b] = ha
@@ -372,8 +372,8 @@ func (h *hotness) applySwap(a, b dram.DSN, now sim.Time) {
 		d.free[gra] = append(d.free[gra], a)
 		d.allocated[grb]++
 		d.allocated[gra]--
-		d.mig.enqueueCopy(a, b, now)
-		d.stats.BytesMigrated += d.cfg.Geometry.SegmentBytes
+		d.mig.enqueueCopy(a, b, now, "hotness-move")
+		d.st.bytesMigrated.Add(d.cfg.Geometry.SegmentBytes)
 	default: // hb live: move b -> a; slot b becomes free
 		d.segMap[hb] = a
 		d.revMap[a] = hb
@@ -383,8 +383,8 @@ func (h *hotness) applySwap(a, b dram.DSN, now sim.Time) {
 		d.free[grb] = append(d.free[grb], b)
 		d.allocated[gra]++
 		d.allocated[grb]--
-		d.mig.enqueueCopy(b, a, now)
-		d.stats.BytesMigrated += d.cfg.Geometry.SegmentBytes
+		d.mig.enqueueCopy(b, a, now, "hotness-move")
+		d.st.bytesMigrated.Add(d.cfg.Geometry.SegmentBytes)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"dtl/internal/dram"
 	"dtl/internal/sim"
+	"dtl/internal/telemetry"
 )
 
 // inflight is one outstanding segment migration on a channel: the register
@@ -57,6 +58,7 @@ type migrator struct {
 	busyUntil []sim.Time
 	busyNs    []sim.Time // accumulated migration bus time per channel
 	stats     MigStats
+	latency   *telemetry.Timer // scheduled copy duration, registry-backed
 }
 
 func newMigrator(d *DTL) *migrator {
@@ -66,13 +68,14 @@ func newMigrator(d *DTL) *migrator {
 		windows:   make([][]*inflight, ch),
 		busyUntil: make([]sim.Time, ch),
 		busyNs:    make([]sim.Time, ch),
+		latency:   d.reg.Timer("core.migration.latency_ns", telemetry.DefaultTimerBoundsNs()),
 	}
 }
 
 // enqueueCopy schedules the copy of one segment from src to dst (same
 // channel) using the channel's idle bandwidth; copies on a channel are
 // serialized behind each other.
-func (m *migrator) enqueueCopy(src, dst dram.DSN, now sim.Time) {
+func (m *migrator) enqueueCopy(src, dst dram.DSN, now sim.Time, reason string) {
 	loc := m.d.codec.DecodeDSN(src)
 	ch := loc.Channel
 	dur := m.d.ctrl.MigrationTime(ch, m.d.cfg.Geometry.SegmentBytes, now)
@@ -86,12 +89,14 @@ func (m *migrator) enqueueCopy(src, dst dram.DSN, now sim.Time) {
 	m.busyNs[ch] += dur
 	m.stats.Enqueued++
 	m.stats.BytesQueued += m.d.cfg.Geometry.SegmentBytes
+	m.latency.Observe(float64(w.end - now))
+	m.d.tracer.Migration(ch, int64(src), int64(dst), reason, w.start, w.end)
 }
 
 // enqueueSwap schedules a bidirectional exchange (two segment copies).
-func (m *migrator) enqueueSwap(a, b dram.DSN, now sim.Time) {
-	m.enqueueCopy(a, b, now)
-	m.enqueueCopy(b, a, now)
+func (m *migrator) enqueueSwap(a, b dram.DSN, now sim.Time, reason string) {
+	m.enqueueCopy(a, b, now, reason)
+	m.enqueueCopy(b, a, now, reason)
 }
 
 // completeUpTo retires windows that finished by now.
@@ -136,6 +141,7 @@ func (m *migrator) onForegroundAccess(dsn dram.DSN, write bool, now sim.Time) {
 			continue // queued but not copying yet
 		}
 		m.stats.WriteConflicts++
+		m.d.tracer.WriteConflict(ch, now)
 		frac := w.progressAt(now)
 		if frac >= 1 {
 			// Completion bit set: copy done, mapping update pending.

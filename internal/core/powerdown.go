@@ -60,7 +60,7 @@ func (d *DTL) tryPowerDownOne(now sim.Time) bool {
 	// remaining ranks of the same channel (the allocator's priority rule),
 	// preserving per-channel balance.
 	for ch := 0; ch < g.Channels; ch++ {
-		d.drainRank(victims[ch], now)
+		d.drainRank(victims[ch], now, "powerdown-drain")
 	}
 
 	// Power the virtual rank group down.
@@ -69,13 +69,13 @@ func (d *DTL) tryPowerDownOne(now sim.Time) bool {
 		// MPSM entry below accounts the transition either way.
 		if d.dev.State(id) == dram.SelfRefresh {
 			d.hot.onSelfRefreshWake(id, now)
-			d.stats.SelfRefreshExits++
+			d.st.selfRefreshExits.Inc()
 		}
 		d.dev.SetState(id, dram.MPSM, now)
 		d.hot.onRankPoweredDown(id, now)
 	}
 	d.poweredDown = append(d.poweredDown, victims)
-	d.stats.PowerDownEvents++
+	d.st.powerDownEvents.Inc()
 	return true
 }
 
@@ -93,7 +93,7 @@ func (d *DTL) activeRanks(ch int) []int {
 // drainRank copies every live segment off the victim rank into other active
 // ranks of the same channel, updating the mapping tables and charging the
 // migration engine.
-func (d *DTL) drainRank(victim dram.RankID, now sim.Time) {
+func (d *DTL) drainRank(victim dram.RankID, now sim.Time, reason string) {
 	ch := victim.Channel
 	victimGR := d.codec.GlobalRank(ch, victim.Rank)
 
@@ -108,8 +108,8 @@ func (d *DTL) drainRank(victim dram.RankID, now sim.Time) {
 
 	for _, src := range live {
 		dst := d.takeDrainTarget(ch, victim.Rank)
-		d.moveSegment(src, dst, now)
-		d.stats.SegmentsMigrated++
+		d.moveSegment(src, dst, now, reason)
+		d.st.segmentsMigrated.Inc()
 	}
 
 	// The victim's free queue stays intact (its segments remain physically
@@ -151,7 +151,7 @@ func (d *DTL) takeDrainTarget(ch, exclude int) dram.DSN {
 // moveSegment relocates the live segment at src into the free slot dst:
 // mapping tables are updated, the SMC entry invalidated, the source slot
 // returned to its free queue, and the copy charged to the migration engine.
-func (d *DTL) moveSegment(src, dst dram.DSN, now sim.Time) {
+func (d *DTL) moveSegment(src, dst dram.DSN, now sim.Time, reason string) {
 	hsn := d.revMap[src]
 	if hsn == dsnFree {
 		panic("core: moveSegment on free source")
@@ -170,8 +170,8 @@ func (d *DTL) moveSegment(src, dst dram.DSN, now sim.Time) {
 	d.allocated[srcGR]--
 
 	d.hot.onSegmentMoved(src, dst)
-	d.mig.enqueueCopy(src, dst, now)
-	d.stats.BytesMigrated += d.cfg.Geometry.SegmentBytes
+	d.mig.enqueueCopy(src, dst, now, reason)
+	d.st.bytesMigrated.Add(d.cfg.Geometry.SegmentBytes)
 }
 
 // PoweredDownGroups reports the number of rank groups currently in MPSM.

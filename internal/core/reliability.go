@@ -45,7 +45,7 @@ func (d *DTL) RetireRank(id dram.RankID, now sim.Time) error {
 	}
 	if d.dev.State(id) == dram.SelfRefresh {
 		d.hot.onSelfRefreshWake(id, now)
-		d.stats.SelfRefreshExits++
+		d.st.selfRefreshExits.Inc()
 		d.dev.SetState(id, dram.Standby, now)
 	}
 
@@ -83,7 +83,7 @@ func (d *DTL) RetireRank(id dram.RankID, now sim.Time) error {
 		}
 	}
 
-	d.drainRank(id, now)
+	d.drainRank(id, now, "retire")
 
 	// Remove the rank's free capacity from the allocator and power it off
 	// for good.
@@ -91,7 +91,8 @@ func (d *DTL) RetireRank(id dram.RankID, now sim.Time) error {
 	d.retired[gr] = true
 	d.dev.SetState(id, dram.MPSM, now)
 	d.hot.onRankPoweredDown(id, now)
-	d.stats.RanksRetired++
+	d.st.ranksRetired.Inc()
+	d.tracer.Retire(gr, now)
 	// Capacity woken for the drain that is no longer needed can power back
 	// down immediately.
 	d.maybePowerDown(now)

@@ -96,6 +96,9 @@ func (s *Scrubber) Run(now sim.Time, budget int) (int, error) {
 		s.scrubbed++
 		done++
 	}
+	if done > 0 {
+		d.tracer.Scrub(now, int64(done))
+	}
 	return done, nil
 }
 

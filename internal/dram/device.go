@@ -42,8 +42,14 @@ type Device struct {
 	tim   Timing
 	ranks []rankStatus // indexed by global rank id (rank*Channels + channel)
 
-	lastAccount sim.Time
+	lastAccount  sim.Time
+	onTransition TransitionHook
 }
+
+// TransitionHook observes every power-state change as it is applied. readyAt
+// is when the rank becomes usable in the new state (entry/exit penalty
+// included). Hooks must not call back into the device.
+type TransitionHook func(id RankID, from, to PowerState, at, readyAt sim.Time)
 
 // NewDevice builds a device in the all-standby state at time zero.
 func NewDevice(g Geometry, pm PowerModel, tm Timing) (*Device, error) {
@@ -126,12 +132,20 @@ func (d *Device) SetState(id RankID, target PowerState, now sim.Time) sim.Time {
 	// Direct SR<->MPSM hops route through standby implicitly; the penalties
 	// above already cover the dominant component.
 
+	from := r.state
 	r.state = target
 	r.stateSince = now
 	r.transitions++
 	r.readyAt = maxTime(now, r.readyAt) + penalty
+	if d.onTransition != nil {
+		d.onTransition(id, from, target, now, r.readyAt)
+	}
 	return r.readyAt
 }
+
+// OnTransition installs the power-transition observer (nil uninstalls it).
+// The telemetry layer uses it to build per-rank power timelines.
+func (d *Device) OnTransition(h TransitionHook) { d.onTransition = h }
 
 // accountRank folds the background energy accumulated in the current state
 // up to now into the per-state ledger.

@@ -31,6 +31,19 @@ type Options struct {
 	// experiments that produce them (fig1 timeline, fig9 distributions,
 	// fig12 power timeline, fig14 savings).
 	CSVDir string
+	// TracePath, when non-empty, receives a Chrome trace_event JSON file
+	// (open in Perfetto / chrome://tracing) of the run's per-rank power
+	// timeline and structured events. Honored by the experiments that drive
+	// a DTL device: fig12/fig13 (power-down schedule), fig14 (headline
+	// self-refresh configuration), and fig9 (which then also replays its
+	// mix through a DTL to capture the SMC behavior behind the strides).
+	TracePath string
+	// MetricsPath, when non-empty, receives the sampled metrics registry as
+	// CSV (one row per sample, one column per metric).
+	MetricsPath string
+	// SamplePeriod is the virtual-time metrics sampling period; 0 picks a
+	// per-experiment default matched to the run's horizon.
+	SamplePeriod sim.Time
 }
 
 // DefaultOptions returns full-scale deterministic options writing to w.
@@ -156,5 +169,3 @@ func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
 
 // nsT converts a float of nanoseconds for printing.
 func nsT(ns float64) string { return fmt.Sprintf("%.1fns", ns) }
-
-var _ = sim.Time(0)

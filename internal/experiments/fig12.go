@@ -79,6 +79,7 @@ func runPowerDownSchedule(o Options) pdRun {
 	}
 
 	run := pdRun{horizon: genCfg.Horizon}
+	rt := o.telemetryFor(d, vmtrace.Interval)
 	pm := d.Device().Power()
 	meter := power.NewMeter(pm)
 	live := map[core.VMID]vmtrace.VM{}
@@ -123,6 +124,10 @@ func runPowerDownSchedule(o Options) pdRun {
 			run.maxActiveRanks = active
 		}
 		intervals++
+		rt.tick(t)
+	}
+	if err := rt.finish(genCfg.Horizon); err != nil {
+		panic(err)
 	}
 	meter.FinishAt(genCfg.Horizon)
 	d.Device().AccountUpTo(genCfg.Horizon)

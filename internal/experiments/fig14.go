@@ -107,6 +107,7 @@ func runSelfRefresh(o Options, cfg srConfig) srRunResult {
 	if err != nil {
 		panic(err)
 	}
+	rt := o.telemetryFor(d, sim.Millisecond)
 
 	// Six-workload mix (as in the paper's trace mixing), footprints
 	// rounded to the 2 GiB AU and summing to the allocation target.
@@ -171,6 +172,7 @@ func runSelfRefresh(o Options, cfg srConfig) srRunResult {
 			panic(err)
 		}
 		now += gapNs
+		rt.tick(now)
 		if now == warmup {
 			dev.AccountUpTo(now)
 			wStandby, wSR, wMPSM = dev.BackgroundEnergy()
@@ -178,6 +180,9 @@ func runSelfRefresh(o Options, cfg srConfig) srRunResult {
 		}
 	}
 	d.Tick(now)
+	if err := rt.finish(horizon); err != nil {
+		panic(err)
+	}
 	dev.AccountUpTo(horizon)
 	st, sr, mp := dev.BackgroundEnergy()
 
@@ -210,8 +215,12 @@ func Fig14(o Options) Result {
 		defer csv.Close()
 	}
 	tab := metrics.NewTable("config", "active ranks", "SR enters/exits", "extra saving", "paper")
-	for _, cfg := range srConfigs() {
-		r := runSelfRefresh(o, cfg)
+	for i, cfg := range srConfigs() {
+		ro := o
+		if i > 0 {
+			ro = o.withoutTelemetry() // only the headline config writes files
+		}
+		r := runSelfRefresh(ro, cfg)
 		saving := r.additionalSaving()
 		if csv != nil {
 			fmt.Fprintf(csv, "%s,%d,%d,%d,%d,%.4f\n",
@@ -239,7 +248,7 @@ func Fig15(o Options) Result {
 
 	tab := metrics.NewTable("config", "power-down only", "with self-refresh", "paper")
 	for _, cfg := range srConfigs() {
-		r := runSelfRefresh(o, cfg)
+		r := runSelfRefresh(o.withoutTelemetry(), cfg)
 		// Power-down-only saving for the same configuration: idle groups
 		// in MPSM, active groups fully standby.
 		idle := float64(r.totalRanks - r.activeRanks)

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"strings"
 
+	"dtl/internal/core"
+	"dtl/internal/dram"
 	"dtl/internal/metrics"
+	"dtl/internal/sim"
 	"dtl/internal/trace"
 )
 
@@ -79,6 +82,61 @@ func Fig9(o Options) Result {
 	last := len(mixDist) - 1
 	fmt.Fprintf(w, "\nmix-8 share of >=4MB strides: %s (paper: 89.3%%)\n", pct(mixDist[last]))
 	res.Metrics["mix8_ge4mb_share"] = mixDist[last]
+
+	if o.TracePath != "" || o.MetricsPath != "" {
+		fig9TraceReplay(o, profiles, n)
+	}
 	res.footer(w)
 	return res
+}
+
+// fig9TraceReplay drives the mix-8 trace through an actual DTL device with
+// telemetry attached. The stride distribution above comes from the raw
+// generators (unchanged by this); a -trace/-metrics run additionally
+// captures the SMC miss and translation behavior those strides induce on
+// the translation layer.
+func fig9TraceReplay(o Options, profiles []trace.Profile, n int) {
+	var foot int64
+	for _, p := range profiles {
+		foot += p.FootprintBytes
+	}
+	g := dram.Geometry{
+		Channels: 4, RanksPerChannel: 2, BanksPerRank: 16,
+		SegmentBytes: 2 * dram.MiB, RankBytes: 2 * dram.GiB,
+	}
+	for g.TotalBytes() < foot+(4<<30) {
+		g.RankBytes *= 2
+	}
+	cfg := core.DefaultConfig(g)
+	d, err := core.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	rt := o.telemetryFor(d, 10*sim.Microsecond)
+
+	alloc, err := d.AllocateVM(1, 0, foot, 0)
+	if err != nil {
+		panic(err)
+	}
+	base := alloc.AUBases[0]
+	for i := 1; i < len(alloc.AUBases); i++ {
+		if alloc.AUBases[i] != alloc.AUBases[i-1]+dram.HPA(cfg.AUBytes) {
+			panic("experiments: AU space not contiguous")
+		}
+	}
+
+	mix := trace.MustMixed(profiles, o.Seed)
+	const gapNs = 2 // >30 GB/s of 64 B accesses, as in §5.2
+	now := sim.Time(0)
+	for i := 0; i < n; i++ {
+		a := mix.Next()
+		if _, err := d.Access(base+dram.HPA(a.Addr), a.Write, now); err != nil {
+			panic(err)
+		}
+		now += gapNs
+		rt.tick(now)
+	}
+	if err := rt.finish(now); err != nil {
+		panic(err)
+	}
 }

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"dtl/internal/core"
+	"dtl/internal/sim"
+	"dtl/internal/telemetry"
+)
+
+// runTelemetry wires a DTL's metrics registry and event tracer to the files
+// requested in Options. A nil *runTelemetry is valid and makes every method
+// a no-op, so experiment loops call tick/finish unconditionally and pay
+// nothing when -trace/-metrics are off.
+type runTelemetry struct {
+	tracePath   string
+	metricsPath string
+
+	d    *core.DTL
+	tr   *telemetry.Tracer
+	eng  *sim.Engine
+	stop func()
+}
+
+// telemetryFor attaches tracing and periodic metrics sampling to d per the
+// Options, or returns nil when neither was requested. defaultPeriod is the
+// experiment's natural sampling granularity, used when the caller did not
+// set SamplePeriod explicitly (horizons range from milliseconds of replay
+// to six hours of schedule, so no single default fits all runs).
+func (o Options) telemetryFor(d *core.DTL, defaultPeriod sim.Time) *runTelemetry {
+	if o.TracePath == "" && o.MetricsPath == "" {
+		return nil
+	}
+	rt := &runTelemetry{
+		tracePath:   o.TracePath,
+		metricsPath: o.MetricsPath,
+		d:           d,
+		eng:         sim.NewEngine(),
+	}
+	if o.TracePath != "" {
+		rt.tr = d.StartTrace(0, 0)
+	}
+	if o.MetricsPath != "" {
+		period := o.SamplePeriod
+		if period <= 0 {
+			period = defaultPeriod
+		}
+		rt.stop = d.Registry().StartSampling(rt.eng, period)
+	}
+	return rt
+}
+
+// tick advances the sampling clock to now, firing any due interval timers.
+func (rt *runTelemetry) tick(now sim.Time) {
+	if rt == nil {
+		return
+	}
+	rt.eng.RunUntil(now)
+}
+
+// finish closes the trace at horizon, detaches it from the device, and
+// writes the requested output files.
+func (rt *runTelemetry) finish(horizon sim.Time) error {
+	if rt == nil {
+		return nil
+	}
+	rt.tick(horizon)
+	if rt.stop != nil {
+		rt.stop()
+	}
+	if rt.tr != nil {
+		rt.tr.Finish(horizon)
+		rt.d.AttachTracer(nil)
+		if err := writeTo(rt.tracePath, func(f *os.File) error {
+			return telemetry.WriteChromeTrace(f, rt.tr)
+		}); err != nil {
+			return fmt.Errorf("experiments: writing trace: %w", err)
+		}
+	}
+	if rt.metricsPath != "" {
+		if err := writeTo(rt.metricsPath, func(f *os.File) error {
+			return rt.d.Registry().WriteCSV(f)
+		}); err != nil {
+			return fmt.Errorf("experiments: writing metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeTo(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// withoutTelemetry clears the telemetry outputs; used by experiments that
+// run the same schedule several times so only the headline run writes files.
+func (o Options) withoutTelemetry() Options {
+	o.TracePath = ""
+	o.MetricsPath = ""
+	return o
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dtl/internal/metrics"
+	"dtl/internal/telemetry"
+	"dtl/internal/trace"
+)
+
+func summarizeTraceFile(t *testing.T, path string) *telemetry.TraceSummary {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening trace: %v", err)
+	}
+	defer f.Close()
+	s, err := telemetry.SummarizeChromeTrace(f)
+	if err != nil {
+		t.Fatalf("parsing trace: %v", err)
+	}
+	return s
+}
+
+// TestFig12TraceSpansPartitionRun is the telemetry acceptance check: the
+// Chrome trace written by the fig12 power-down schedule must contain one
+// power timeline per global rank whose spans sum exactly to the run
+// duration, plus migration spans with computable latency percentiles.
+func TestFig12TraceSpansPartitionRun(t *testing.T) {
+	dir := t.TempDir()
+	o := quickOpts()
+	o.TracePath = filepath.Join(dir, "t.json")
+	o.MetricsPath = filepath.Join(dir, "m.csv")
+
+	run := runPowerDownSchedule(o)
+	s := summarizeTraceFile(t, o.TracePath)
+
+	wantRanks := pdGeometry().TotalRanks()
+	if len(s.Residency) != wantRanks {
+		t.Fatalf("power timelines for %d ranks, want %d", len(s.Residency), wantRanks)
+	}
+	horizonUs := float64(run.horizon) / 1e3
+	for rank := 0; rank < wantRanks; rank++ {
+		got := s.RankDuration(rank)
+		if diff := got - horizonUs; diff > 1e-3 || diff < -1e-3 {
+			t.Errorf("rank %d (%s): spans sum to %.3f us, want %.3f",
+				rank, s.RankNames[rank], got, horizonUs)
+		}
+	}
+
+	// The schedule powers ranks down, so MPSM residency must appear.
+	var mpsmUs float64
+	for _, m := range s.Residency {
+		mpsmUs += m["mpsm"]
+	}
+	if mpsmUs <= 0 {
+		t.Error("no MPSM residency in a power-down schedule trace")
+	}
+
+	if len(s.MigrationsUs) == 0 {
+		t.Fatal("no migration spans in trace")
+	}
+	sum := metrics.Summarize(s.MigrationsUs)
+	if !(sum.P50 > 0 && sum.P95 >= sum.P50 && sum.P99 >= sum.P95) {
+		t.Errorf("migration latency percentiles not ordered: %+v", sum)
+	}
+	if s.MigrationReasons["powerdown-drain"] == 0 {
+		t.Errorf("drain migrations missing a reason tag: %v", s.MigrationReasons)
+	}
+
+	data, err := os.ReadFile(o.MetricsPath)
+	if err != nil {
+		t.Fatalf("metrics CSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("metrics CSV has %d lines", len(lines))
+	}
+	for _, col := range []string{"time_ns", "core.powerdown.events", "memctrl.wakeups", "dev.ranks.mpsm"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("metrics header missing %q: %s", col, lines[0])
+		}
+	}
+}
+
+// TestFig9TraceReplay checks the fig9 -trace path: replaying the mix through
+// a DTL yields a parseable trace with full-coverage power timelines.
+func TestFig9TraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	o := quickOpts()
+	o.TracePath = filepath.Join(dir, "t.json")
+
+	var profiles []trace.Profile
+	for _, app := range fig9Apps[:3] {
+		p, err := trace.ProfileByName(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.FootprintBytes = 64 << 20
+		profiles = append(profiles, p)
+	}
+	fig9TraceReplay(o, profiles, 20_000)
+
+	s := summarizeTraceFile(t, o.TracePath)
+	if len(s.Residency) == 0 {
+		t.Fatal("no power timelines in fig9 trace")
+	}
+	d0 := s.RankDuration(0)
+	for rank := range s.Residency {
+		if got := s.RankDuration(rank); got != d0 {
+			t.Errorf("rank %d duration %v != rank 0 duration %v", rank, got, d0)
+		}
+	}
+}
+
+func TestTelemetryDisabledIsNil(t *testing.T) {
+	if rt := quickOpts().telemetryFor(nil, 1); rt != nil {
+		t.Fatal("telemetryFor without paths should return nil")
+	}
+	var rt *runTelemetry
+	rt.tick(100) // no-ops on nil
+	if err := rt.finish(100); err != nil {
+		t.Fatalf("nil finish: %v", err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"dtl/internal/dram"
 	"dtl/internal/sim"
+	"dtl/internal/telemetry"
 )
 
 // LineBytes is the request granularity (one cache line).
@@ -64,16 +65,19 @@ type Controller struct {
 	bankFree  [][]sim.Time
 	openRow   [][]int64
 
-	window    []RankStats // per global rank, since last ResetWindow
-	lifetime  []RankStats // per global rank, total
-	busyNs    []sim.Time  // per channel: accumulated bus occupancy
-	wakeCount int64
+	window   []RankStats // per global rank, since last ResetWindow
+	lifetime []RankStats // per global rank, total
+	busyNs   []sim.Time  // per channel: accumulated bus occupancy
+	// wakeCount and refreshStalls are telemetry counters owned by the
+	// controller; RegisterMetrics attaches them (and derived gauges) to a
+	// registry so they appear in sampled time series.
+	wakeCount     telemetry.Counter
+	refreshStalls telemetry.Counter
 
 	// refreshEnabled blocks each standby rank for TRFC every TREFI, with
 	// per-rank phase staggering (all-bank refresh). Self-refresh and MPSM
 	// ranks refresh internally or not at all, so only standby ranks stall.
 	refreshEnabled bool
-	refreshStalls  int64
 }
 
 // New builds a controller over the device.
@@ -124,7 +128,7 @@ func (c *Controller) Access(req Request) Result {
 	case dram.SelfRefresh:
 		ready := c.dev.SetState(id, dram.Standby, req.Arrive)
 		wake = ready - req.Arrive
-		c.wakeCount++
+		c.wakeCount.Inc()
 	}
 
 	rankReady := c.dev.ReadyAt(id)
@@ -204,7 +208,27 @@ func (c *Controller) Access(req Request) Result {
 func (c *Controller) EnableRefresh() { c.refreshEnabled = true }
 
 // RefreshStalls reports how many requests were delayed by a refresh window.
-func (c *Controller) RefreshStalls() int64 { return c.refreshStalls }
+func (c *Controller) RefreshStalls() int64 { return c.refreshStalls.Value() }
+
+// RegisterMetrics attaches the controller's counters and per-channel bus
+// gauges to a telemetry registry under the "memctrl" prefix, so sampled time
+// series include queue/bus behavior ("memctrl.ch0.busy_ns", ...).
+func (c *Controller) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCounter("memctrl.wakeups", &c.wakeCount)
+	reg.RegisterCounter("memctrl.refresh_stalls", &c.refreshStalls)
+	for ch := range c.busFree {
+		ch := ch
+		reg.GaugeFunc(fmt.Sprintf("memctrl.ch%d.busy_ns", ch), func() float64 {
+			return float64(c.busyNs[ch])
+		})
+		reg.GaugeFunc(fmt.Sprintf("memctrl.ch%d.bus_free_at_ns", ch), func() float64 {
+			return float64(c.busFree[ch])
+		})
+	}
+	reg.GaugeFunc("memctrl.bytes_total", func() float64 {
+		return float64(c.TotalBytes())
+	})
+}
 
 // afterRefresh pushes t past the rank's refresh window if it falls inside
 // one. Rank gr refreshes during [phase + k*TREFI, phase + k*TREFI + TRFC)
@@ -220,7 +244,7 @@ func (c *Controller) afterRefresh(gr int, t sim.Time) sim.Time {
 		offset += trefi
 	}
 	if offset < trfc {
-		c.refreshStalls++
+		c.refreshStalls.Inc()
 		return t + (trfc - offset)
 	}
 	return t
@@ -263,7 +287,7 @@ func (c *Controller) TotalBytes() int64 {
 }
 
 // Wakeups reports how many accesses found their rank in self-refresh.
-func (c *Controller) Wakeups() int64 { return c.wakeCount }
+func (c *Controller) Wakeups() int64 { return c.wakeCount.Value() }
 
 // ChannelBusyUntil reports when the channel bus frees up; migration traffic
 // may issue at or after this time.

@@ -231,3 +231,45 @@ func TestBusTurnaroundPenalty(t *testing.T) {
 		t.Fatalf("write->read start %v, want %v", rBack.Start, 30_000+tm.TWTR)
 	}
 }
+
+// TestResetWindowLifetimeNoDrift checks the invariant the profiling loop
+// depends on: summing every window between resets reproduces the lifetime
+// counters exactly, for both accesses and bytes.
+func TestResetWindowLifetimeNoDrift(t *testing.T) {
+	c := newCtrl()
+	nRanks := len(c.LifetimeStats())
+	windowSum := make([]RankStats, nRanks)
+
+	now := sim.Time(0)
+	addr := int64(0)
+	for epoch := 0; epoch < 5; epoch++ {
+		for i := 0; i < 10*(epoch+1); i++ {
+			c.Access(Request{Addr: dram.DPA(addr), Arrive: now})
+			addr += 4 << 20 // wander across segments (and thus ranks/channels)
+			now += 1000
+		}
+		for gr, ws := range c.WindowStats() {
+			windowSum[gr].Accesses += ws.Accesses
+			windowSum[gr].Bytes += ws.Bytes
+		}
+		c.ResetWindow()
+		for _, ws := range c.WindowStats() {
+			if ws.Accesses != 0 || ws.Bytes != 0 {
+				t.Fatalf("epoch %d: window not cleared: %+v", epoch, ws)
+			}
+		}
+	}
+
+	life := c.LifetimeStats()
+	var lifeTotal int64
+	for gr := range life {
+		if windowSum[gr] != life[gr] {
+			t.Fatalf("rank %d: window sum %+v drifted from lifetime %+v",
+				gr, windowSum[gr], life[gr])
+		}
+		lifeTotal += life[gr].Bytes
+	}
+	if lifeTotal != c.TotalBytes() {
+		t.Fatalf("TotalBytes %d != summed lifetime %d", c.TotalBytes(), lifeTotal)
+	}
+}

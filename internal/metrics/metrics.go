@@ -17,7 +17,9 @@ type Summary struct {
 	P50, P95, P99  float64
 }
 
-// Summarize computes a Summary. It copies the input before sorting.
+// Summarize computes a Summary. It copies the input before sorting. An
+// empty input yields the zero Summary (Count 0), not NaNs, so it is safe to
+// render unconditionally.
 func Summarize(values []float64) Summary {
 	if len(values) == 0 {
 		return Summary{}
@@ -39,7 +41,14 @@ func Summarize(values []float64) Summary {
 	}
 }
 
-// Percentile reports the p-th percentile (0-100) of values.
+// Percentile reports the p-th percentile (0-100) of values, interpolating
+// linearly between order statistics.
+//
+// Edge cases, chosen so callers can feed raw sample sets without guards:
+// an empty slice returns NaN (there is no meaningful percentile, and NaN
+// poisons downstream arithmetic instead of silently passing as 0); a
+// single-element slice returns that element for every p; p <= 0 returns the
+// minimum and p >= 100 the maximum.
 func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return math.NaN()
@@ -65,7 +74,12 @@ func percentileSorted(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
-// GeoMean reports the geometric mean; all values must be positive.
+// GeoMean reports the geometric mean.
+//
+// It returns NaN for an empty slice and whenever any value is zero or
+// negative (the log-domain mean is undefined there). As with Percentile,
+// NaN is deliberate: a silent 0 or a skipped element would corrupt
+// normalized-speedup summaries without any visible signal.
 func GeoMean(values []float64) float64 {
 	if len(values) == 0 {
 		return math.NaN()
@@ -100,7 +114,9 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 }
 
-// Observe adds a value.
+// Observe adds a value. Bucket upper bounds are exclusive: a value exactly
+// equal to bounds[i] is counted in bucket i+1, and values at or above the
+// last bound land in the final unbounded bucket.
 func (h *Histogram) Observe(v float64) {
 	idx := sort.SearchFloat64s(h.bounds, v)
 	if idx < len(h.bounds) && v == h.bounds[idx] {

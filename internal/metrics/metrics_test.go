@@ -109,3 +109,60 @@ func TestTableRender(t *testing.T) {
 		}
 	}
 }
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if v := Percentile(nil, 50); !math.IsNaN(v) {
+		t.Errorf("Percentile(nil) = %v, want NaN", v)
+	}
+	if v := Percentile([]float64{}, 99); !math.IsNaN(v) {
+		t.Errorf("Percentile(empty) = %v, want NaN", v)
+	}
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if v := Percentile([]float64{7.5}, p); v != 7.5 {
+			t.Errorf("Percentile(single, %v) = %v, want 7.5", p, v)
+		}
+	}
+	vals := []float64{3, 1, 2}
+	if v := Percentile(vals, -10); v != 1 {
+		t.Errorf("Percentile(p<0) = %v, want min 1", v)
+	}
+	if v := Percentile(vals, 250); v != 3 {
+		t.Errorf("Percentile(p>100) = %v, want max 3", v)
+	}
+}
+
+func TestGeoMeanEdgeCases(t *testing.T) {
+	if v := GeoMean(nil); !math.IsNaN(v) {
+		t.Errorf("GeoMean(nil) = %v, want NaN", v)
+	}
+	if v := GeoMean([]float64{2, 0, 8}); !math.IsNaN(v) {
+		t.Errorf("GeoMean with zero = %v, want NaN", v)
+	}
+	if v := GeoMean([]float64{2, -1, 8}); !math.IsNaN(v) {
+		t.Errorf("GeoMean with negative = %v, want NaN", v)
+	}
+	if v := GeoMean([]float64{5}); v != 5 {
+		t.Errorf("GeoMean(single) = %v, want 5", v)
+	}
+}
+
+func TestSummarizeEmptyIsZeroNotNaN(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero Summary", s)
+	}
+}
+
+func TestHistogramObserveOnBound(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	h.Observe(10) // exactly on the first bound: exclusive, so bucket 1
+	h.Observe(20) // exactly on the last bound: unbounded tail bucket
+	h.Observe(9.999)
+	h.Observe(19.999)
+	want := []int64{1, 2, 1}
+	for i, c := range h.counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}

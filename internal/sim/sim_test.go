@@ -169,3 +169,67 @@ func TestStepOnEmptyQueue(t *testing.T) {
 		t.Fatal("Step on empty queue returned true")
 	}
 }
+
+func TestEveryCancelBeforeFirstFiring(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	cancel := e.Every(10, func(Time) { fired++ })
+	cancel()
+	e.RunUntil(1000)
+	if fired != 0 {
+		t.Fatalf("fired %d times after immediate cancel, want 0", fired)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("clock at %v, want 1000", e.Now())
+	}
+}
+
+func TestEveryCancelIsIdempotentAndIsolated(t *testing.T) {
+	e := NewEngine()
+	var a, b int
+	cancelA := e.Every(10, func(Time) { a++ })
+	e.Every(10, func(Time) { b++ })
+	e.RunUntil(25) // both fire at 10 and 20
+	cancelA()
+	cancelA() // double-cancel must be harmless
+	e.RunUntil(55)
+	if a != 2 {
+		t.Fatalf("cancelled timer fired %d times, want 2", a)
+	}
+	if b != 5 {
+		t.Fatalf("surviving timer fired %d times, want 5 (10..50)", b)
+	}
+}
+
+func TestEveryReschedulesAcrossRunUntilBoundaries(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	e.Every(7, func(now Time) { ticks = append(ticks, now) })
+	// Drive the clock in uneven chunks, as experiment loops do; the timer
+	// must keep its exact 7 ns cadence regardless of the chunking.
+	for _, deadline := range []Time{5, 13, 14, 30, 31, 50} {
+		e.RunUntil(deadline)
+	}
+	want := []Time{7, 14, 21, 28, 35, 42, 49}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestEveryCancelFromOtherEvent(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	cancel := e.Every(10, func(Time) { fired++ })
+	// A scheduled event (same instant as the third firing, inserted first)
+	// cancels the timer; the already-queued firing at 30 must not run.
+	e.At(30, func(Time) { cancel() })
+	e.RunUntil(100)
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2 (cancel lands before the t=30 tick)", fired)
+	}
+}

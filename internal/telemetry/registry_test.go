@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"dtl/internal/sim"
+)
+
+func TestCounterGaugeTimerBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("a.count"); again != c {
+		t.Fatal("Counter should return the same instance for the same name")
+	}
+
+	g := r.Gauge("a.gauge")
+	g.Set(2.5)
+	if v, ok := r.Value("a.gauge"); !ok || v != 2.5 {
+		t.Fatalf("gauge value = %v,%v", v, ok)
+	}
+	r.GaugeFunc("a.fn", func() float64 { return 7 })
+	if v, _ := r.Value("a.fn"); v != 7 {
+		t.Fatalf("gauge func value = %v", v)
+	}
+
+	tm := r.Timer("a.lat", nil)
+	tm.Observe(100)
+	tm.Observe(300)
+	if tm.Count() != 2 || tm.Mean() != 200 || tm.Max() != 300 {
+		t.Fatalf("timer = count %d mean %v max %v", tm.Count(), tm.Mean(), tm.Max())
+	}
+	if tm.Histogram().Total() != 2 {
+		t.Fatalf("histogram total = %d", tm.Histogram().Total())
+	}
+}
+
+func TestRegisterCounterSharesState(t *testing.T) {
+	r := NewRegistry()
+	var owned Counter // embedded-by-value style, as memctrl uses
+	r.RegisterCounter("ext", &owned)
+	owned.Inc()
+	owned.Inc()
+	if v, ok := r.Value("ext"); !ok || v != 2 {
+		t.Fatalf("registered counter reads %v,%v, want 2", v, ok)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestValueUnknownName(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Value("nope"); ok {
+		t.Fatal("unknown name should report ok=false")
+	}
+}
+
+func TestSamplingDrivenByIntervalTimer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	eng := sim.NewEngine()
+	cancel := r.StartSampling(eng, 10)
+
+	c.Inc()
+	eng.RunUntil(25) // samples at 10, 20
+	c.Add(9)
+	eng.RunUntil(40) // samples at 30, 40
+	cancel()
+	eng.RunUntil(100) // no more samples
+
+	if got := r.SampleCount(); got != 4 {
+		t.Fatalf("samples = %d, want 4", got)
+	}
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_ns,hits\n10,1\n20,1\n30,10\n40,10\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestWriteCSVPadsLateRegisteredMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("early").Inc()
+	r.Sample(5)
+	r.Gauge("late").Set(3)
+	tm := r.Timer("lat", nil)
+	tm.Observe(50)
+	r.Sample(10)
+
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "time_ns,early,late,lat.count,lat.mean_ns" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "5,1,,," {
+		t.Fatalf("first row should pad missing columns, got %q", lines[1])
+	}
+	if lines[2] != "10,1,3,1,50" {
+		t.Fatalf("second row = %q", lines[2])
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(1.5)
+	snap := r.Snapshot()
+	if snap["c"] != 3 || snap["g"] != 1.5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	var sb strings.Builder
+	if err := r.WriteSnapshot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "c") || !strings.Contains(sb.String(), "1.5") {
+		t.Fatalf("snapshot dump = %q", sb.String())
+	}
+}

@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dtl/internal/sim"
+)
+
+// Sink-facing constants for the Chrome trace_event export. Each global rank
+// renders as its own "thread" so the per-rank power timeline opens directly
+// in Perfetto / chrome://tracing; migration queues and point events get
+// dedicated thread ids above the rank range.
+const (
+	chromePID = 0
+	// migrationTidBase + channel is the thread of a channel's migration queue.
+	migrationTidBase = 10000
+	// pointTid is the thread carrying instant events (SMC misses, scrubs...).
+	pointTid = 20000
+)
+
+// chromeEvent is one trace_event record. Ts and Dur are microseconds, per
+// the trace_event format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usOf(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// WriteChromeTrace exports the tracer as Chrome trace_event JSON: one
+// complete ("X") event per power span on the owning rank's thread, one per
+// migration on the channel's migration thread, and instant ("i") events for
+// everything else. Finish must have been called so spans cover the full run.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: nil tracer")
+	}
+	if !t.Finished() {
+		return fmt.Errorf("telemetry: WriteChromeTrace before Finish")
+	}
+	var evs []chromeEvent
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePID, Tid: 0,
+		Args: map[string]any{"name": "dtlsim"},
+	})
+	for rank := 0; rank < t.cfg.Ranks; rank++ {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePID, Tid: rank,
+			Args: map[string]any{"name": "power " + t.RankName(rank)},
+		})
+	}
+	for _, s := range t.PowerSpans() {
+		evs = append(evs, chromeEvent{
+			Name: t.StateName(s.State), Cat: "power", Ph: "X",
+			Ts: usOf(s.Start), Dur: usOf(s.Duration()),
+			Pid: chromePID, Tid: s.Rank,
+		})
+	}
+	migThreads := map[int]bool{}
+	for _, ev := range t.Events() {
+		switch ev.Kind {
+		case EvMigration:
+			if !migThreads[ev.Channel] {
+				migThreads[ev.Channel] = true
+				evs = append(evs, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: chromePID,
+					Tid:  migrationTidBase + ev.Channel,
+					Args: map[string]any{"name": fmt.Sprintf("migrations ch%d", ev.Channel)},
+				})
+			}
+			evs = append(evs, chromeEvent{
+				Name: "migrate", Cat: "migration", Ph: "X",
+				Ts: usOf(ev.At), Dur: usOf(ev.Dur),
+				Pid: chromePID, Tid: migrationTidBase + ev.Channel,
+				Args: map[string]any{"src": ev.Src, "dst": ev.Dst, "reason": ev.Reason},
+			})
+		default:
+			evs = append(evs, chromeEvent{
+				Name: ev.Kind.String(), Cat: "event", Ph: "i",
+				Ts: usOf(ev.At), Pid: chromePID, Tid: pointTid, Scope: "t",
+				Args: pointArgs(ev),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ns"})
+}
+
+func pointArgs(ev Event) map[string]any {
+	args := map[string]any{}
+	if ev.Rank >= 0 {
+		args["rank"] = ev.Rank
+	}
+	if ev.Channel >= 0 {
+		args["channel"] = ev.Channel
+	}
+	if ev.Dur != 0 {
+		args["dur_ns"] = int64(ev.Dur)
+	}
+	if ev.Kind == EvScrub {
+		args["segments"] = ev.Src
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// WriteJSONL exports the tracer as JSON Lines: one record per power span
+// (type "power") followed by one per retained event (type by kind). Times
+// are integer nanoseconds.
+func WriteJSONL(w io.Writer, t *Tracer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: nil tracer")
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.PowerSpans() {
+		rec := map[string]any{
+			"type": "power", "rank": s.Rank, "rank_name": t.RankName(s.Rank),
+			"state": t.StateName(s.State), "start_ns": int64(s.Start), "end_ns": int64(s.End),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	for _, ev := range t.Events() {
+		rec := map[string]any{
+			"type": ev.Kind.String(), "at_ns": int64(ev.At),
+		}
+		if ev.Dur != 0 {
+			rec["dur_ns"] = int64(ev.Dur)
+		}
+		if ev.Rank >= 0 {
+			rec["rank"] = ev.Rank
+		}
+		if ev.Channel >= 0 {
+			rec["channel"] = ev.Channel
+		}
+		if ev.Kind == EvMigration {
+			rec["src"] = ev.Src
+			rec["dst"] = ev.Dst
+			rec["reason"] = ev.Reason
+		}
+		if ev.Kind == EvScrub {
+			rec["segments"] = ev.Src
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEventsCSV exports power spans and events as flat CSV with a leading
+// record-type column, for spreadsheet-style analysis.
+func WriteEventsCSV(w io.Writer, t *Tracer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: nil tracer")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "record,at_ns,dur_ns,rank,channel,state_or_reason,src,dst")
+	for _, s := range t.PowerSpans() {
+		fmt.Fprintf(bw, "power,%d,%d,%d,,%s,,\n",
+			int64(s.Start), int64(s.Duration()), s.Rank, t.StateName(s.State))
+	}
+	for _, ev := range t.Events() {
+		rank, ch := "", ""
+		if ev.Rank >= 0 {
+			rank = fmt.Sprintf("%d", ev.Rank)
+		}
+		if ev.Channel >= 0 {
+			ch = fmt.Sprintf("%d", ev.Channel)
+		}
+		fmt.Fprintf(bw, "%s,%d,%d,%s,%s,%s,%d,%d\n",
+			ev.Kind, int64(ev.At), int64(ev.Dur), rank, ch,
+			strings.ReplaceAll(ev.Reason, ",", ";"), ev.Src, ev.Dst)
+	}
+	return bw.Flush()
+}
+
+// TraceSummary is the decoded aggregate view of a Chrome trace file, as
+// produced by WriteChromeTrace and consumed by cmd/dtlstat.
+type TraceSummary struct {
+	// RankNames maps a power-thread tid (== global rank) to its name.
+	RankNames map[int]string
+	// Residency maps rank tid → state name → total microseconds.
+	Residency map[int]map[string]float64
+	// MigrationsUs lists every migration span duration in microseconds.
+	MigrationsUs []float64
+	// MigrationReasons counts migrations by reason tag.
+	MigrationReasons map[string]int
+	// Points counts instant events by name.
+	Points map[string]int
+}
+
+// States lists every state name seen, sorted for stable rendering.
+func (s *TraceSummary) States() []string {
+	set := map[string]bool{}
+	for _, m := range s.Residency {
+		for name := range m {
+			set[name] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RankDuration sums all state residencies of one rank (the traced run
+// duration, by the span-partition invariant).
+func (s *TraceSummary) RankDuration(rank int) float64 {
+	var total float64
+	for _, us := range s.Residency[rank] {
+		total += us
+	}
+	return total
+}
+
+// SummarizeChromeTrace parses a Chrome trace_event JSON stream produced by
+// WriteChromeTrace back into per-rank power residency and migration-latency
+// samples.
+func SummarizeChromeTrace(r io.Reader) (*TraceSummary, error) {
+	var tr chromeTrace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing trace: %w", err)
+	}
+	s := &TraceSummary{
+		RankNames:        map[int]string{},
+		Residency:        map[int]map[string]float64{},
+		MigrationReasons: map[string]int{},
+		Points:           map[string]int{},
+	}
+	for _, ev := range tr.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name" && ev.Tid < migrationTidBase:
+			if name, ok := ev.Args["name"].(string); ok {
+				s.RankNames[ev.Tid] = strings.TrimPrefix(name, "power ")
+			}
+		case ev.Ph == "X" && ev.Cat == "power":
+			m := s.Residency[ev.Tid]
+			if m == nil {
+				m = map[string]float64{}
+				s.Residency[ev.Tid] = m
+			}
+			m[ev.Name] += ev.Dur
+		case ev.Ph == "X" && ev.Cat == "migration":
+			s.MigrationsUs = append(s.MigrationsUs, ev.Dur)
+			if reason, ok := ev.Args["reason"].(string); ok {
+				s.MigrationReasons[reason]++
+			}
+		case ev.Ph == "i":
+			s.Points[ev.Name]++
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dtl/internal/sim"
+)
+
+// traceFixture builds a finished tracer with a mixed history: transitions,
+// migrations, and point events.
+func traceFixture(t *testing.T) *Tracer {
+	t.Helper()
+	tr := testTracer(4, 0)
+	tr.PowerTransition(0, 2, 100)
+	tr.PowerTransition(1, 1, 200)
+	tr.PowerTransition(1, 0, 700)
+	tr.Migration(0, 5, 9, "powerdown-drain", 100, 400)
+	tr.Migration(1, 7, 3, "hotness-swap", 150, 450)
+	tr.SMCMiss(320)
+	tr.Wake(1, 700, 15)
+	tr.Scrub(800, 64)
+	tr.Finish(1000)
+	return tr
+}
+
+func TestWriteChromeTraceRequiresFinish(t *testing.T) {
+	tr := testTracer(1, 0)
+	if err := WriteChromeTrace(&bytes.Buffer{}, tr); err == nil {
+		t.Fatal("expected error before Finish")
+	}
+	if err := WriteChromeTrace(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("expected error for nil tracer")
+	}
+}
+
+func TestChromeTraceRoundTripThroughSummary(t *testing.T) {
+	tr := traceFixture(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := SummarizeChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.RankNames) != 4 {
+		t.Fatalf("rank names = %v", s.RankNames)
+	}
+	if s.RankNames[3] != "ch1/rk1" {
+		t.Fatalf("rank 3 name = %q", s.RankNames[3])
+	}
+	// Partition invariant survives the round trip: every rank's residency
+	// sums to the 1000 ns horizon (1 us in trace units).
+	for rank := 0; rank < 4; rank++ {
+		if got := s.RankDuration(rank); got != 1.0 {
+			t.Fatalf("rank %d duration = %v us, want 1", rank, got)
+		}
+	}
+	if got := s.Residency[0]["mpsm"]; got != 0.9 {
+		t.Fatalf("rank 0 mpsm = %v us, want 0.9", got)
+	}
+	if got := s.Residency[1]["self-refresh"]; got != 0.5 {
+		t.Fatalf("rank 1 self-refresh = %v us, want 0.5", got)
+	}
+	if len(s.MigrationsUs) != 2 || s.MigrationsUs[0] != 0.3 {
+		t.Fatalf("migrations = %v", s.MigrationsUs)
+	}
+	if s.MigrationReasons["powerdown-drain"] != 1 || s.MigrationReasons["hotness-swap"] != 1 {
+		t.Fatalf("reasons = %v", s.MigrationReasons)
+	}
+	if s.Points["smc_miss"] != 1 || s.Points["wake"] != 1 || s.Points["scrub"] != 1 {
+		t.Fatalf("points = %v", s.Points)
+	}
+	states := s.States()
+	if strings.Join(states, ",") != "mpsm,self-refresh,standby" {
+		t.Fatalf("states = %v", states)
+	}
+}
+
+func TestChromeTraceIsValidTraceEventJSON(t *testing.T) {
+	tr := traceFixture(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		if ph == "i" {
+			if scope, _ := ev["s"].(string); scope != "t" {
+				t.Fatalf("instant event missing thread scope: %v", ev)
+			}
+		}
+	}
+	// 1 process + 4 rank threads + 2 migration threads = 7 metadata events.
+	if phases["M"] != 7 {
+		t.Fatalf("metadata events = %d, want 7", phases["M"])
+	}
+	// Spans: rank0 has 2, rank1 has 3, ranks 2,3 one each + 2 migrations.
+	if phases["X"] != 9 {
+		t.Fatalf("complete events = %d, want 9", phases["X"])
+	}
+	if phases["i"] != 3 {
+		t.Fatalf("instant events = %d, want 3", phases["i"])
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := traceFixture(t)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var power, events int
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if rec["type"] == "power" {
+			power++
+		} else {
+			events++
+		}
+	}
+	if power != 7 {
+		t.Fatalf("power records = %d, want 7", power)
+	}
+	if events != 5 {
+		t.Fatalf("event records = %d, want 5", events)
+	}
+}
+
+func TestWriteEventsCSV(t *testing.T) {
+	tr := traceFixture(t)
+	var buf bytes.Buffer
+	if err := WriteEventsCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "record,at_ns,dur_ns,rank,channel,state_or_reason,src,dst" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Header + 7 spans + 5 events.
+	if len(lines) != 13 {
+		t.Fatalf("lines = %d, want 13", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 7 {
+			t.Fatalf("row %q has %d commas, want 7", l, got)
+		}
+	}
+}
+
+func TestSummarizeRejectsGarbage(t *testing.T) {
+	if _, err := SummarizeChromeTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestUsOf(t *testing.T) {
+	if usOf(sim.Microsecond) != 1 {
+		t.Fatalf("usOf(1us) = %v", usOf(sim.Microsecond))
+	}
+	if usOf(1500) != 1.5 {
+		t.Fatalf("usOf(1500ns) = %v", usOf(1500))
+	}
+}

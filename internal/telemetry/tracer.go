@@ -1,0 +1,322 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"dtl/internal/sim"
+)
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+// Event kinds emitted by the model layers.
+const (
+	// EvMigration is one background segment copy (src → dst DSN) with its
+	// scheduled duration.
+	EvMigration EventKind = iota
+	// EvSMCMiss is a full segment-mapping-cache miss (DRAM table walk).
+	EvSMCMiss
+	// EvWake is a foreground access forcing a rank out of self-refresh.
+	EvWake
+	// EvScrub is one patrol-scrubber run (segments scrubbed in Src).
+	EvScrub
+	// EvWriteConflict is a foreground write landing on an in-flight
+	// migration (§4.2 protocol activation).
+	EvWriteConflict
+	// EvRetire is a rank permanently taken offline.
+	EvRetire
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvMigration:
+		return "migration"
+	case EvSMCMiss:
+		return "smc_miss"
+	case EvWake:
+		return "wake"
+	case EvScrub:
+		return "scrub"
+	case EvWriteConflict:
+		return "write_conflict"
+	case EvRetire:
+		return "retire"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one structured trace record. Fields that do not apply to a kind
+// are -1 (Rank, Channel) or zero.
+type Event struct {
+	Kind    EventKind
+	At      sim.Time
+	Dur     sim.Time // span events (migration); 0 for instants
+	Rank    int      // global rank, -1 when not rank-scoped
+	Channel int      // -1 when not channel-scoped
+	Src     int64    // migration source DSN / scrubbed-segment count
+	Dst     int64    // migration destination DSN
+	Reason  string   // migration reason ("drain", "hotness-swap", ...)
+}
+
+// PowerSpan is one closed interval a rank spent in a single power state.
+// Spans for a rank partition [start, horizon] exactly: the tracer closes the
+// open span on every transition and Finish closes the rest, so per-rank span
+// durations always sum to the traced run duration.
+type PowerSpan struct {
+	Rank  int // global rank
+	State int // power-state code, named by TracerConfig.StateNames
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration reports the span length.
+func (s PowerSpan) Duration() sim.Time { return s.End - s.Start }
+
+// TracerConfig sizes a Tracer for a device.
+type TracerConfig struct {
+	// Ranks is the number of global ranks (one power timeline each).
+	Ranks int
+	// Channels lets sinks render a global rank id as "chX/rkY" (global rank
+	// = rank*Channels + channel, matching the device codec).
+	Channels int
+	// StateNames names power-state codes; index i names state code i.
+	StateNames []string
+	// InitialState is every rank's state at Start.
+	InitialState int
+	// Capacity bounds the event ring buffer; 0 selects DefaultCapacity.
+	// Power spans are kept exactly (transitions are rare); high-frequency
+	// point events overwrite the oldest once the ring is full, with the
+	// overflow reported by Dropped.
+	Capacity int
+	// Start is the trace origin (usually 0).
+	Start sim.Time
+}
+
+// DefaultCapacity is the default event ring size.
+const DefaultCapacity = 1 << 16
+
+// Tracer records structured events and per-rank power-state timelines.
+// All emit methods are nil-receiver-safe no-ops, so model code can hold a
+// nil *Tracer and call it unconditionally without paying for tracing.
+type Tracer struct {
+	cfg TracerConfig
+
+	state []int      // current power state per rank
+	since []sim.Time // when the rank entered it
+	spans []PowerSpan
+
+	ring  []Event
+	next  int   // overwrite position once len(ring) == cap
+	total int64 // events ever emitted
+
+	finished bool
+	end      sim.Time
+}
+
+// NewTracer builds a tracer with every rank in cfg.InitialState at cfg.Start.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Ranks <= 0 {
+		panic(fmt.Sprintf("telemetry: tracer needs at least one rank, got %d", cfg.Ranks))
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	t := &Tracer{
+		cfg:   cfg,
+		state: make([]int, cfg.Ranks),
+		since: make([]sim.Time, cfg.Ranks),
+	}
+	for i := range t.state {
+		t.state[i] = cfg.InitialState
+		t.since[i] = cfg.Start
+	}
+	return t
+}
+
+// Config returns the tracer's configuration.
+func (t *Tracer) Config() TracerConfig { return t.cfg }
+
+// StateName names a power-state code.
+func (t *Tracer) StateName(code int) string {
+	if code >= 0 && code < len(t.cfg.StateNames) {
+		return t.cfg.StateNames[code]
+	}
+	return fmt.Sprintf("state%d", code)
+}
+
+// RankName renders a global rank as "chX/rkY" (or "rkN" without channels).
+func (t *Tracer) RankName(rank int) string {
+	if t.cfg.Channels > 0 {
+		return fmt.Sprintf("ch%d/rk%d", rank%t.cfg.Channels, rank/t.cfg.Channels)
+	}
+	return fmt.Sprintf("rk%d", rank)
+}
+
+// PowerTransition records rank entering power state to at time at. Same-state
+// transitions are ignored.
+func (t *Tracer) PowerTransition(rank, to int, at sim.Time) {
+	if t == nil {
+		return
+	}
+	if rank < 0 || rank >= len(t.state) {
+		panic(fmt.Sprintf("telemetry: power transition on rank %d of %d", rank, len(t.state)))
+	}
+	if t.state[rank] == to {
+		return
+	}
+	if at < t.since[rank] {
+		// Out-of-order emission would corrupt the partition invariant.
+		panic(fmt.Sprintf("telemetry: transition at %v before span start %v", at, t.since[rank]))
+	}
+	t.spans = append(t.spans, PowerSpan{Rank: rank, State: t.state[rank], Start: t.since[rank], End: at})
+	t.state[rank] = to
+	t.since[rank] = at
+}
+
+func (t *Tracer) emit(ev Event) {
+	if len(t.ring) < t.cfg.Capacity {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.next] = ev
+		t.next = (t.next + 1) % len(t.ring)
+	}
+	t.total++
+}
+
+// Migration records one background segment copy on a channel over
+// [start, end), tagged with the engine that requested it.
+func (t *Tracer) Migration(ch int, src, dst int64, reason string, start, end sim.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: EvMigration, At: start, Dur: end - start, Rank: -1, Channel: ch,
+		Src: src, Dst: dst, Reason: reason})
+}
+
+// SMCMiss records a full segment-mapping-cache miss at time at.
+func (t *Tracer) SMCMiss(at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: EvSMCMiss, At: at, Rank: -1, Channel: -1})
+}
+
+// Wake records an access forcing a rank out of self-refresh, with the exit
+// penalty charged to the access.
+func (t *Tracer) Wake(rank int, at, penalty sim.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: EvWake, At: at, Dur: penalty, Rank: rank, Channel: -1})
+}
+
+// Scrub records one patrol-scrubber run that visited segments segments.
+func (t *Tracer) Scrub(at sim.Time, segments int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: EvScrub, At: at, Rank: -1, Channel: -1, Src: segments})
+}
+
+// WriteConflict records a foreground write hitting an in-flight migration.
+func (t *Tracer) WriteConflict(ch int, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: EvWriteConflict, At: at, Rank: -1, Channel: ch})
+}
+
+// Retire records a rank being permanently taken offline.
+func (t *Tracer) Retire(rank int, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: EvRetire, At: at, Rank: rank, Channel: -1})
+}
+
+// Finish closes every open power span at horizon. Call it once, after the
+// run, before exporting spans; later calls are no-ops.
+func (t *Tracer) Finish(horizon sim.Time) {
+	if t == nil || t.finished {
+		return
+	}
+	for rank := range t.state {
+		end := horizon
+		if end < t.since[rank] {
+			end = t.since[rank]
+		}
+		t.spans = append(t.spans, PowerSpan{Rank: rank, State: t.state[rank], Start: t.since[rank], End: end})
+	}
+	t.finished = true
+	t.end = horizon
+}
+
+// Finished reports whether Finish has run.
+func (t *Tracer) Finished() bool { return t != nil && t.finished }
+
+// End reports the horizon passed to Finish.
+func (t *Tracer) End() sim.Time { return t.end }
+
+// PowerSpans returns the closed power spans recorded so far (all spans,
+// including the final open-span closures, once Finish has run).
+func (t *Tracer) PowerSpans() []PowerSpan {
+	if t == nil {
+		return nil
+	}
+	return append([]PowerSpan(nil), t.spans...)
+}
+
+// Residency sums the time rank spent in each power state across closed
+// spans, indexed by state code. Call after Finish for full-run totals.
+func (t *Tracer) Residency(rank int) []sim.Time {
+	n := len(t.cfg.StateNames)
+	if n == 0 {
+		n = 1
+	}
+	out := make([]sim.Time, n)
+	for _, s := range t.spans {
+		if s.Rank != rank {
+			continue
+		}
+		for s.State >= len(out) {
+			out = append(out, 0)
+		}
+		out[s.State] += s.Duration()
+	}
+	return out
+}
+
+// Events returns the retained events in chronological emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if len(t.ring) < t.cfg.Capacity {
+		return append([]Event(nil), t.ring...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped reports how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	if d := t.total - int64(len(t.ring)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Total reports how many events were ever emitted.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"testing"
+
+	"dtl/internal/sim"
+)
+
+func testTracer(ranks, capacity int) *Tracer {
+	return NewTracer(TracerConfig{
+		Ranks: ranks, Channels: 2,
+		StateNames:   []string{"standby", "self-refresh", "mpsm"},
+		InitialState: 0,
+		Capacity:     capacity,
+	})
+}
+
+func TestNilTracerEmitsAreNoOps(t *testing.T) {
+	var tr *Tracer
+	tr.PowerTransition(0, 1, 10)
+	tr.Migration(0, 1, 2, "x", 0, 5)
+	tr.SMCMiss(1)
+	tr.Wake(0, 1, 2)
+	tr.Scrub(1, 3)
+	tr.WriteConflict(0, 1)
+	tr.Retire(0, 1)
+	tr.Finish(100)
+	if tr.Finished() || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer should report nothing")
+	}
+	if tr.Events() != nil || tr.PowerSpans() != nil {
+		t.Fatal("nil tracer should return nil slices")
+	}
+}
+
+// TestSpanPartitionInvariant is the core guarantee the Chrome export relies
+// on: per-rank spans tile [0, horizon] exactly, whatever the transition
+// history.
+func TestSpanPartitionInvariant(t *testing.T) {
+	tr := testTracer(4, 0)
+	tr.PowerTransition(0, 2, 100)
+	tr.PowerTransition(0, 0, 250)
+	tr.PowerTransition(1, 1, 40)
+	tr.PowerTransition(0, 2, 900)
+	// rank 2,3: no transitions at all
+	const horizon = sim.Time(1000)
+	tr.Finish(horizon)
+
+	perRank := make(map[int]sim.Time)
+	for _, s := range tr.PowerSpans() {
+		if s.End < s.Start {
+			t.Fatalf("negative span %+v", s)
+		}
+		perRank[s.Rank] += s.Duration()
+	}
+	for rank := 0; rank < 4; rank++ {
+		if perRank[rank] != horizon {
+			t.Fatalf("rank %d spans sum to %v, want %v", rank, perRank[rank], horizon)
+		}
+	}
+
+	res := tr.Residency(0)
+	if res[0] != 100+650 || res[2] != 150+100 {
+		t.Fatalf("rank 0 residency = %v", res)
+	}
+	if r1 := tr.Residency(1); r1[0] != 40 || r1[1] != 960 {
+		t.Fatalf("rank 1 residency = %v", r1)
+	}
+}
+
+func TestSameStateTransitionIgnored(t *testing.T) {
+	tr := testTracer(1, 0)
+	tr.PowerTransition(0, 0, 50) // already standby
+	tr.Finish(100)
+	spans := tr.PowerSpans()
+	if len(spans) != 1 || spans[0].Start != 0 || spans[0].End != 100 {
+		t.Fatalf("spans = %+v, want single [0,100] span", spans)
+	}
+}
+
+func TestBackwardsTransitionPanics(t *testing.T) {
+	tr := testTracer(1, 0)
+	tr.PowerTransition(0, 1, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on time going backwards")
+		}
+	}()
+	tr.PowerTransition(0, 2, 50)
+}
+
+func TestFinishIsIdempotent(t *testing.T) {
+	tr := testTracer(2, 0)
+	tr.PowerTransition(0, 1, 10)
+	tr.Finish(100)
+	n := len(tr.PowerSpans())
+	tr.Finish(500) // no-op
+	if len(tr.PowerSpans()) != n || tr.End() != 100 {
+		t.Fatal("second Finish must not add spans or move the horizon")
+	}
+}
+
+func TestRingWraparoundKeepsNewestAndCountsDropped(t *testing.T) {
+	tr := testTracer(1, 4)
+	for i := 0; i < 10; i++ {
+		tr.SMCMiss(sim.Time(i))
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := sim.Time(6 + i); ev.At != want {
+			t.Fatalf("event %d at %v, want %v (chronological, newest retained)", i, ev.At, want)
+		}
+	}
+}
+
+func TestEventFieldsRoundTrip(t *testing.T) {
+	tr := testTracer(2, 0)
+	tr.Migration(1, 42, 99, "drain", 10, 35)
+	tr.Wake(1, 50, 7)
+	tr.Scrub(60, 128)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	m := evs[0]
+	if m.Kind != EvMigration || m.Channel != 1 || m.Src != 42 || m.Dst != 99 ||
+		m.Reason != "drain" || m.At != 10 || m.Dur != 25 {
+		t.Fatalf("migration event = %+v", m)
+	}
+	if w := evs[1]; w.Kind != EvWake || w.Rank != 1 || w.Dur != 7 {
+		t.Fatalf("wake event = %+v", w)
+	}
+	if s := evs[2]; s.Kind != EvScrub || s.Src != 128 {
+		t.Fatalf("scrub event = %+v", s)
+	}
+}
+
+func TestRankAndStateNames(t *testing.T) {
+	tr := testTracer(4, 0) // 2 channels: global rank = rank*2 + channel
+	if got := tr.RankName(3); got != "ch1/rk1" {
+		t.Fatalf("RankName(3) = %q", got)
+	}
+	if got := tr.StateName(1); got != "self-refresh" {
+		t.Fatalf("StateName(1) = %q", got)
+	}
+	if got := tr.StateName(9); got != "state9" {
+		t.Fatalf("StateName(9) = %q", got)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		EvMigration: "migration", EvSMCMiss: "smc_miss", EvWake: "wake",
+		EvScrub: "scrub", EvWriteConflict: "write_conflict", EvRetire: "retire",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
