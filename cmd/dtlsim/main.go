@@ -8,11 +8,14 @@
 //	dtlsim -exp all -quick       # everything, reduced scale
 //	dtlsim -exp fig14 -seed 7
 //	dtlsim -exp fig12 -quick -trace t.json -metrics m.csv -sample 1ms
+//	dtlsim -exp faults -quick -faults 'storm:ch1/rk2:at=90m;kill:ch3/rk1:at=3h'
 //
 // -trace writes a Chrome trace_event JSON of the run (open in Perfetto or
 // chrome://tracing); -metrics samples every registry metric into a CSV time
 // series; -sample sets the virtual-time sampling period (0 = a default
 // matched to the experiment's horizon). Summarize a trace with cmd/dtlstat.
+// -faults injects a deterministic fault process (internal/fault grammar) into
+// the schedule-driven experiments, exercising the self-healing loop.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"time"
 
 	"dtl/internal/experiments"
+	"dtl/internal/fault"
 	"dtl/internal/sim"
 )
 
@@ -39,6 +43,7 @@ func main() {
 		trace   = flag.String("trace", "", "write a Chrome trace_event JSON of the run (fig9/fig12/fig13/fig14)")
 		metrics = flag.String("metrics", "", "write sampled registry metrics as CSV")
 		sample  = flag.String("sample", "0", "virtual-time metrics sampling period (e.g. 1ms; 0 = per-experiment default)")
+		faults  = flag.String("faults", "", "fault-injection spec for the schedule experiments (fig12/fig13/faults), e.g. 'seed=7;storm:ch1/rk2:at=90m;kill:ch3/rk1:at=3h'")
 	)
 	flag.Parse()
 
@@ -59,10 +64,17 @@ func main() {
 	if *jsonOut {
 		out = io.Discard
 	}
+	if *faults != "" {
+		if _, err := fault.Parse(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "dtlsim:", err)
+			os.Exit(2)
+		}
+	}
 	opts := experiments.Options{
 		Quick: *quick, Seed: *seed, Out: out, CSVDir: *csvDir,
 		TracePath: *trace, MetricsPath: *metrics,
 		SamplePeriod: sim.Time(samplePeriod.Nanoseconds()),
+		FaultSpec:    *faults,
 	}
 
 	ids := strings.Split(*exp, ",")

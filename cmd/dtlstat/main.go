@@ -6,9 +6,16 @@
 //
 //	dtlstat trace.json
 //	dtlsim -exp fig12 -quick -trace t.json && dtlstat t.json
+//	dtlstat -check RESIDENCY_seed.json t.json   # CI residency gate
+//
+// -check compares the device-wide residency share of each power state
+// against a tolerance band (JSON: {"states": {"mpsm": {"share": 0.4,
+// "tol": 0.1}, ...}}) and exits nonzero on a violation, so CI can catch
+// power-behavior regressions the unit suite is too coarse to see.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,8 +26,9 @@ import (
 )
 
 func main() {
+	check := flag.String("check", "", "residency band JSON; exit nonzero if any state's aggregate share leaves its band")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dtlstat <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: dtlstat [-check band.json] <trace.json>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,6 +73,13 @@ func main() {
 		cells = append(cells, fmt.Sprintf("%.3f", total/1e6))
 		tab.AddRow(cells...)
 	}
+	agg, aggTotal := aggregateResidency(s, ranks, states)
+	cells := []string{"ALL"}
+	for _, st := range states {
+		cells = append(cells, sharePct(agg[st], aggTotal))
+	}
+	cells = append(cells, fmt.Sprintf("%.3f", aggTotal/1e6))
+	tab.AddRow(cells...)
 	tab.Render(os.Stdout)
 
 	fmt.Printf("\nmigrations: %d", len(s.MigrationsUs))
@@ -96,6 +111,74 @@ func main() {
 			fmt.Printf("  %-18s %d\n", n, s.Points[n])
 		}
 	}
+
+	if *check != "" {
+		if err := checkBand(*check, agg, aggTotal); err != nil {
+			fmt.Fprintln(os.Stderr, "dtlstat:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nresidency band check against %s: PASS\n", *check)
+	}
+}
+
+// aggregateResidency sums residency microseconds across ranks per state, and
+// the device-wide total rank-time.
+func aggregateResidency(s *telemetry.TraceSummary, ranks []int, states []string) (map[string]float64, float64) {
+	agg := map[string]float64{}
+	var total float64
+	for _, rank := range ranks {
+		for _, st := range states {
+			agg[st] += s.Residency[rank][st]
+		}
+		total += s.RankDuration(rank)
+	}
+	return agg, total
+}
+
+// residencyBand is the tolerance-band file format: the expected device-wide
+// share of each power state plus an absolute tolerance.
+type residencyBand struct {
+	Description string `json:"description,omitempty"`
+	Source      string `json:"source,omitempty"`
+	States      map[string]struct {
+		Share float64 `json:"share"`
+		Tol   float64 `json:"tol"`
+	} `json:"states"`
+}
+
+// checkBand compares the aggregate residency against the band file.
+func checkBand(path string, agg map[string]float64, total float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var band residencyBand
+	if err := json.Unmarshal(data, &band); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(band.States) == 0 {
+		return fmt.Errorf("%s: band has no states", path)
+	}
+	if total <= 0 {
+		return fmt.Errorf("trace has no rank time to check")
+	}
+	names := make([]string, 0, len(band.States))
+	for st := range band.States {
+		names = append(names, st)
+	}
+	sort.Strings(names)
+	var bad []string
+	for _, st := range names {
+		b := band.States[st]
+		got := agg[st] / total
+		if got < b.Share-b.Tol || got > b.Share+b.Tol {
+			bad = append(bad, fmt.Sprintf("%s share %.3f outside %.3f±%.3f", st, got, b.Share, b.Tol))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("residency band violated: %v", bad)
+	}
+	return nil
 }
 
 // stateColumns lists the power states to render: the canonical DRAM states

@@ -1,0 +1,91 @@
+// Faults demonstrates the self-healing reliability loop end to end: a
+// seeded fault injector storms one rank with correctable errors and kills
+// another outright while VMs keep their memory allocated. The health monitor
+// detects the storm through the device's ECC telemetry, automatically
+// retires both degraded ranks (draining their segments to healthy ones), and
+// the VMs never notice — every host address stays readable throughout.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtl"
+	"dtl/internal/core"
+	"dtl/internal/dram"
+	"dtl/internal/fault"
+	"dtl/internal/sim"
+)
+
+func main() {
+	geom := dtl.Geometry{
+		Channels:        4,
+		RanksPerChannel: 4,
+		BanksPerRank:    16,
+		SegmentBytes:    2 << 20,
+		RankBytes:       256 << 20,
+	}
+	cfg := core.DefaultConfig(geom)
+	cfg.AUBytes = 64 << 20
+	dev, err := dtl.Open(dtl.WithConfig(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := dev.Core()
+
+	// Two tenants, enough data that every channel holds live segments.
+	var bases []dtl.HPA
+	for vm := dtl.VMID(1); vm <= 2; vm++ {
+		alloc, err := dev.AllocateVM(vm, dtl.HostID(vm-1), 1<<30, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bases = append(bases, alloc.AUBases...)
+	}
+	fmt.Println("before faults: ", dev.PowerSnapshot(0))
+	fmt.Printf("usable capacity: %s\n\n", dram.FormatBytes(dev.UsableBytes()))
+
+	// The chaos scenario: an ECC storm on ch0/rk0 at t=1ms (500 errors over
+	// ~50ms, far past the health monitor's leaky bucket) and a hard rank
+	// failure on ch2/rk1 at t=100ms.
+	spec := fault.MustParse("seed=42;" +
+		"storm:ch0/rk0:at=1ms,rate=10000,dur=50ms;" +
+		"kill:ch2/rk1:at=100ms")
+	eng := sim.NewEngine()
+	inj, err := fault.NewInjector(spec, d.Device(), eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := 500 * sim.Millisecond
+	inj.Start(horizon)
+
+	// Run the clock: deliver faults, then let the DTL's health monitor react
+	// at every tick (the hypervisor's periodic interval, shrunk for demo).
+	for now := sim.Time(0); now <= horizon; now += 10 * sim.Millisecond {
+		eng.RunUntil(now)
+		dev.Tick(now)
+	}
+
+	st := inj.Stats()
+	fmt.Printf("injected: %d correctable errors, %d rank kill(s)\n",
+		st.CorrectableErrors, st.RankKills)
+	snap := d.Registry().Snapshot()
+	fmt.Printf("health:   %.0f storms detected, %.0f ranks auto-retired\n",
+		snap["core.health.storms"], snap["core.health.auto_retires"])
+	for _, id := range d.RetiredRanks() {
+		fmt.Printf("          retired ch%d/rk%d\n", id.Channel, id.Rank)
+	}
+	fmt.Println("\nafter healing:", dev.PowerSnapshot(horizon))
+	fmt.Printf("usable capacity: %s\n", dram.FormatBytes(dev.UsableBytes()))
+
+	// The tenants never noticed: every address still resolves and reads.
+	for _, base := range bases {
+		if _, err := dev.Read(base, horizon); err != nil {
+			log.Fatalf("data loss at %#x: %v", base, err)
+		}
+	}
+	if err := dev.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nzero data loss: all VM addresses readable; invariants hold")
+}

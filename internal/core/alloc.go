@@ -1,12 +1,20 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"dtl/internal/dram"
 	"dtl/internal/sim"
 )
+
+// ErrOutOfCapacity is returned by AllocateVM when the device cannot satisfy
+// the request: usable capacity (excluding retired and failed ranks) has
+// shrunk below what the allocation needs. Callers at the API edge shed load
+// on it instead of treating it as fatal — the graceful-degradation contract
+// of the reliability loop.
+var ErrOutOfCapacity = errors.New("core: out of memory")
 
 // Allocation summarizes a VM placement.
 type Allocation struct {
@@ -59,8 +67,8 @@ func (d *DTL) AllocateVM(vm VMID, host HostID, bytes int64, now sim.Time) (Alloc
 			break
 		}
 		if !d.reactivateOne(now) {
-			return Allocation{}, fmt.Errorf("core: out of memory: channel %d needs %d segments, %d free and no powered-down groups",
-				short, perChannelNeed, d.activeFreeSegmentsOn(short))
+			return Allocation{}, fmt.Errorf("%w: channel %d needs %d segments, %d free and no powered-down groups",
+				ErrOutOfCapacity, short, perChannelNeed, d.activeFreeSegmentsOn(short))
 		}
 		reactivated++
 	}
@@ -110,10 +118,14 @@ func (d *DTL) auBase(host HostID, au int64) dram.HPA {
 	return dram.HPA(int64(hsn) << d.codec.SegmentShift())
 }
 
-// activeFreeSegments counts free segments on non-MPSM ranks.
+// activeFreeSegments counts free segments on usable (non-MPSM, non-failed)
+// ranks.
 func (d *DTL) activeFreeSegments() int64 {
 	var n int64
 	for gr, q := range d.free {
+		if d.dev.FailedGlobal(gr) {
+			continue
+		}
 		ch, rk := d.codec.SplitGlobalRank(gr)
 		if d.dev.State(dram.RankID{Channel: ch, Rank: rk}) != dram.MPSM {
 			n += int64(len(q))
@@ -122,12 +134,17 @@ func (d *DTL) activeFreeSegments() int64 {
 	return n
 }
 
-// activeFreeSegmentsOn counts free segments on channel ch's non-MPSM ranks.
+// activeFreeSegmentsOn counts free segments on channel ch's usable
+// (non-MPSM, non-failed) ranks.
 func (d *DTL) activeFreeSegmentsOn(ch int) int64 {
 	var n int64
 	for rk := 0; rk < d.cfg.Geometry.RanksPerChannel; rk++ {
+		gr := d.codec.GlobalRank(ch, rk)
+		if d.dev.FailedGlobal(gr) {
+			continue
+		}
 		if d.dev.State(dram.RankID{Channel: ch, Rank: rk}) != dram.MPSM {
-			n += int64(len(d.free[d.codec.GlobalRank(ch, rk)]))
+			n += int64(len(d.free[gr]))
 		}
 	}
 	return n
@@ -159,14 +176,14 @@ func (d *DTL) takeSegments(ch int, n int64) []dram.DSN {
 }
 
 // pickAllocRank selects the global rank on channel ch to allocate from:
-// the non-MPSM rank with free segments that has the highest utilization;
-// standby beats self-refresh at equal utilization classes.
+// the non-MPSM, non-failed rank with free segments that has the highest
+// utilization; standby beats self-refresh at equal utilization classes.
 func (d *DTL) pickAllocRank(ch int) int {
 	best := -1
 	var bestKey [2]int64 // {standby preference, allocated count}
 	for rk := 0; rk < d.cfg.Geometry.RanksPerChannel; rk++ {
 		gr := d.codec.GlobalRank(ch, rk)
-		if len(d.free[gr]) == 0 {
+		if len(d.free[gr]) == 0 || d.dev.FailedGlobal(gr) {
 			continue
 		}
 		state := d.dev.State(dram.RankID{Channel: ch, Rank: rk})
@@ -228,6 +245,8 @@ func (d *DTL) DeallocateVM(vm VMID, now sim.Time) error {
 	delete(d.vms, vm)
 
 	d.maybePowerDown(now)
+	// Freed capacity may unblock a deferred (capacity-short) retirement.
+	d.health.process(now)
 	return nil
 }
 
@@ -274,11 +293,16 @@ func (d *DTL) rankGroupAllocated() []int64 {
 	return out
 }
 
-// sortedRanksByUtilization returns active (non-MPSM) ranks of a channel in
-// ascending allocated-segment order.
+// sortedRanksByUtilization returns active (non-MPSM, non-failed) ranks of a
+// channel in ascending allocated-segment order. Failed ranks are excluded so
+// the power-down and self-refresh engines never pick one as a victim or
+// consolidation target; retirement is their only exit.
 func (d *DTL) sortedRanksByUtilization(ch int) []int {
 	var ranks []int
 	for rk := 0; rk < d.cfg.Geometry.RanksPerChannel; rk++ {
+		if d.dev.FailedGlobal(d.codec.GlobalRank(ch, rk)) {
+			continue
+		}
 		if d.dev.State(dram.RankID{Channel: ch, Rank: rk}) != dram.MPSM {
 			ranks = append(ranks, rk)
 		}

@@ -59,9 +59,10 @@ type DTL struct {
 	// extension); their capacity is removed from the allocator.
 	retired map[int]bool
 
-	hot   *hotness
-	mig   *migrator
-	scrub *Scrubber
+	hot    *hotness
+	mig    *migrator
+	scrub  *Scrubber
+	health *HealthMonitor
 
 	// reg is the always-on metrics registry backing every DTL counter; the
 	// Stats accessor is a thin view over it. tracer is nil unless a caller
@@ -177,6 +178,7 @@ func NewWithDevice(cfg Config, dev *dram.Device) (*DTL, error) {
 	}
 	d.hot = newHotness(d)
 	d.mig = newMigrator(d)
+	d.health = newHealthMonitor(d, DefaultHealthConfig())
 	d.registerGauges()
 	return d, nil
 }
@@ -435,10 +437,12 @@ func (d *DTL) Access(hpa dram.HPA, write bool, now sim.Time) (AccessResult, erro
 }
 
 // Tick advances time-driven machinery (profiling windows, phase
-// transitions, migration completions) to now without an access.
+// transitions, migration completions, pending health actions) to now
+// without an access.
 func (d *DTL) Tick(now sim.Time) {
 	d.mig.completeUpTo(now)
 	d.hot.tick(now)
+	d.health.process(now)
 }
 
 // CheckInvariants verifies the mapping bijection, free-queue consistency and

@@ -16,6 +16,9 @@ type inflight struct {
 	end      sim.Time
 	dur      sim.Time
 	retries  int
+	// vretries counts verify-after-copy re-routes this segment has taken
+	// (destination rank faulted mid-copy), bounded by MigrationRetryLimit.
+	vretries int
 }
 
 // copyFraction of the window is spent copying lines; the remainder models
@@ -45,6 +48,10 @@ type MigStats struct {
 	Aborts         int64 // copy aborted and restarted because the line had already migrated
 	Requeues       int64 // retry limit exceeded; request moved to queue tail
 	BytesQueued    int64
+	Verified       int64 // copies whose destination verified healthy at completion
+	VerifyFailures int64 // copies that completed onto a failed rank
+	Reroutes       int64 // verify failures re-routed to a new destination
+	VerifyGiveups  int64 // verify failures left in place (retry limit or no target)
 }
 
 // migrator schedules background segment copies per channel and implements
@@ -99,19 +106,58 @@ func (m *migrator) enqueueSwap(a, b dram.DSN, now sim.Time, reason string) {
 	m.enqueueCopy(b, a, now, reason)
 }
 
-// completeUpTo retires windows that finished by now.
+// completeUpTo retires windows that finished by now, verifying each copy
+// against its destination rank: a copy that completed onto a rank that
+// failed mid-flight is re-routed to a fresh destination (bounded by
+// MigrationRetryLimit), so data never strands on degrading media.
 func (m *migrator) completeUpTo(now sim.Time) {
+	type reroute struct {
+		dst      dram.DSN
+		vretries int
+	}
 	for ch := range m.windows {
 		ws := m.windows[ch]
+		var failed []reroute
 		keep := ws[:0]
 		for _, w := range ws {
-			if w.end <= now {
-				m.stats.Completed++
-			} else {
+			if w.end > now {
 				keep = append(keep, w)
+				continue
+			}
+			m.stats.Completed++
+			loc := m.d.codec.DecodeDSN(w.dst)
+			if m.d.dev.FailedGlobal(m.d.codec.GlobalRank(loc.Channel, loc.Rank)) {
+				m.stats.VerifyFailures++
+				failed = append(failed, reroute{dst: w.dst, vretries: w.vretries})
+			} else {
+				m.stats.Verified++
 			}
 		}
 		m.windows[ch] = keep
+		// Re-routes are applied after the compaction above: moveSegment
+		// enqueues a fresh copy, which appends to m.windows[ch] — doing
+		// that mid-compaction would alias the slice being rewritten.
+		for _, r := range failed {
+			if m.d.revMap[r.dst] == dsnFree {
+				continue // already moved off or freed; nothing to save
+			}
+			if r.vretries >= m.d.cfg.MigrationRetryLimit {
+				m.stats.VerifyGiveups++
+				continue
+			}
+			loc := m.d.codec.DecodeDSN(r.dst)
+			nd, ok := m.d.takeDrainTargetOn(loc.Channel, loc.Rank)
+			if !ok {
+				// No healthy rank with free space on this channel; the data
+				// stays readable in degraded mode until retirement drains it.
+				m.stats.VerifyGiveups++
+				continue
+			}
+			m.d.moveSegment(r.dst, nd, now, "verify-reroute")
+			nws := m.windows[ch]
+			nws[len(nws)-1].vretries = r.vretries + 1
+			m.stats.Reroutes++
+		}
 	}
 }
 

@@ -43,15 +43,7 @@ func (d *DTL) tryPowerDownOne(now sim.Time) bool {
 	// defensive re-check per channel).
 	for ch := 0; ch < g.Channels; ch++ {
 		victimGR := d.codec.GlobalRank(ch, victims[ch].Rank)
-		live := d.allocated[victimGR]
-		var freeElsewhere int64
-		for _, rk := range d.activeRanks(ch) {
-			if rk == victims[ch].Rank {
-				continue
-			}
-			freeElsewhere += int64(len(d.free[d.codec.GlobalRank(ch, rk)]))
-		}
-		if freeElsewhere < live {
+		if d.drainCapacityOn(ch, victims[ch].Rank) < d.allocated[victimGR] {
 			return false
 		}
 	}
@@ -120,8 +112,21 @@ func (d *DTL) drainRank(victim dram.RankID, now sim.Time, reason string) {
 }
 
 // takeDrainTarget pops a free segment on channel ch from the most-utilized
-// active rank other than exclude.
+// active rank other than exclude. Callers must have checked capacity
+// (drainCapacityOn); running out mid-drain is a model bug and panics.
 func (d *DTL) takeDrainTarget(ch, exclude int) dram.DSN {
+	dsn, ok := d.takeDrainTargetOn(ch, exclude)
+	if !ok {
+		panic("core: no drain target available (capacity precondition violated)")
+	}
+	return dsn
+}
+
+// takeDrainTargetOn is takeDrainTarget without the capacity precondition:
+// it reports false when no eligible rank (active, non-failed, with free
+// space) exists on the channel. The migration verify-after-copy path uses it
+// to re-route around a destination rank that faulted mid-copy.
+func (d *DTL) takeDrainTargetOn(ch, exclude int) (dram.DSN, bool) {
 	best := -1
 	var bestAlloc int64 = -1
 	for rk := 0; rk < d.cfg.Geometry.RanksPerChannel; rk++ {
@@ -132,7 +137,7 @@ func (d *DTL) takeDrainTarget(ch, exclude int) dram.DSN {
 			continue
 		}
 		gr := d.codec.GlobalRank(ch, rk)
-		if len(d.free[gr]) == 0 {
+		if len(d.free[gr]) == 0 || d.dev.FailedGlobal(gr) {
 			continue
 		}
 		if d.allocated[gr] > bestAlloc {
@@ -140,12 +145,12 @@ func (d *DTL) takeDrainTarget(ch, exclude int) dram.DSN {
 		}
 	}
 	if best < 0 {
-		panic("core: no drain target available (capacity precondition violated)")
+		return 0, false
 	}
 	dsn := d.free[best][0]
 	d.free[best] = d.free[best][1:]
 	d.allocated[best]++
-	return dsn
+	return dsn, true
 }
 
 // moveSegment relocates the live segment at src into the free slot dst:

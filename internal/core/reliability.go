@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"dtl/internal/dram"
@@ -15,8 +16,14 @@ import (
 // running with reduced spare capacity.
 
 // ErrRetireCapacity is returned when the surviving ranks of some channel
-// cannot absorb the retiring rank's live segments.
-var ErrRetireCapacity = fmt.Errorf("core: insufficient free capacity to retire rank")
+// cannot absorb the retiring rank's live segments. The HealthMonitor treats
+// it as a deferred retirement and retries with backoff.
+var ErrRetireCapacity = errors.New("core: insufficient free capacity to retire rank")
+
+// ErrLastRank is returned when retirement would take the last non-retired
+// rank of a channel offline: the channel's live data would have nowhere to
+// go, so the rank must keep serving (in degraded mode if it has failed).
+var ErrLastRank = errors.New("core: cannot retire the last rank of a channel")
 
 // RetireRank drains every live segment off the given rank into the other
 // active ranks of the same channel, removes the rank's capacity from the
@@ -24,6 +31,12 @@ var ErrRetireCapacity = fmt.Errorf("core: insufficient free capacity to retire r
 // victims, retired ranks are never reactivated: AllocateVM will not draw
 // from them and reactivation skips them.
 func (d *DTL) RetireRank(id dram.RankID, now sim.Time) error {
+	return d.retireRank(id, now, "manual")
+}
+
+// retireRank is RetireRank with a cause tag for telemetry ("manual",
+// "ecc-storm", "uncorrectable", "wake-fault", "rank-failure").
+func (d *DTL) retireRank(id dram.RankID, now sim.Time, cause string) error {
 	g := d.cfg.Geometry
 	if id.Channel < 0 || id.Channel >= g.Channels || id.Rank < 0 || id.Rank >= g.RanksPerChannel {
 		return fmt.Errorf("core: rank %v out of range", id)
@@ -34,6 +47,18 @@ func (d *DTL) RetireRank(id dram.RankID, now sim.Time) error {
 	}
 	if d.retired[gr] {
 		return fmt.Errorf("core: rank %v already retired", id)
+	}
+	// The last non-retired rank of a channel can never be retired: its live
+	// segments would have nowhere to go and future allocations need the
+	// channel (MPSM ranks count as survivors — they can be reactivated).
+	survivors := 0
+	for rk := 0; rk < g.RanksPerChannel; rk++ {
+		if rk != id.Rank && !d.retired[d.codec.GlobalRank(id.Channel, rk)] {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		return fmt.Errorf("%w (ch%d)", ErrLastRank, id.Channel)
 	}
 	d.mig.completeUpTo(now)
 
@@ -49,36 +74,14 @@ func (d *DTL) RetireRank(id dram.RankID, now sim.Time) error {
 		d.dev.SetState(id, dram.Standby, now)
 	}
 
-	// Capacity check: the other active, non-retired ranks of this channel
-	// must absorb the live segments.
+	// Capacity check: the other active, non-retired, non-failed ranks of
+	// this channel must absorb the live segments.
 	live := d.allocated[gr]
-	var freeElsewhere int64
-	for rk := 0; rk < g.RanksPerChannel; rk++ {
-		if rk == id.Rank {
-			continue
-		}
-		ogr := d.codec.GlobalRank(id.Channel, rk)
-		if d.retired[ogr] || d.dev.State(dram.RankID{Channel: id.Channel, Rank: rk}) == dram.MPSM {
-			continue
-		}
-		freeElsewhere += int64(len(d.free[ogr]))
-	}
-	if freeElsewhere < live {
+	if d.drainCapacityOn(id.Channel, id.Rank) < live {
 		// Try waking powered-down groups to make room.
-		for freeElsewhere < live && d.reactivateOne(now) {
-			freeElsewhere = 0
-			for rk := 0; rk < g.RanksPerChannel; rk++ {
-				if rk == id.Rank {
-					continue
-				}
-				ogr := d.codec.GlobalRank(id.Channel, rk)
-				if d.retired[ogr] || d.dev.State(dram.RankID{Channel: id.Channel, Rank: rk}) == dram.MPSM {
-					continue
-				}
-				freeElsewhere += int64(len(d.free[ogr]))
-			}
+		for d.drainCapacityOn(id.Channel, id.Rank) < live && d.reactivateOne(now) {
 		}
-		if freeElsewhere < live {
+		if d.drainCapacityOn(id.Channel, id.Rank) < live {
 			return ErrRetireCapacity
 		}
 	}
@@ -92,11 +95,33 @@ func (d *DTL) RetireRank(id dram.RankID, now sim.Time) error {
 	d.dev.SetState(id, dram.MPSM, now)
 	d.hot.onRankPoweredDown(id, now)
 	d.st.ranksRetired.Inc()
-	d.tracer.Retire(gr, now)
+	d.tracer.Retire(gr, cause, now)
 	// Capacity woken for the drain that is no longer needed can power back
 	// down immediately.
 	d.maybePowerDown(now)
 	return nil
+}
+
+// drainCapacityOn sums the free segments of a channel's ranks that are
+// eligible drain targets: not the excluded rank, not retired, not failed,
+// not in MPSM. It must agree exactly with takeDrainTarget's eligibility
+// rule, or draining panics mid-way.
+func (d *DTL) drainCapacityOn(ch, exclude int) int64 {
+	var free int64
+	for rk := 0; rk < d.cfg.Geometry.RanksPerChannel; rk++ {
+		if rk == exclude {
+			continue
+		}
+		gr := d.codec.GlobalRank(ch, rk)
+		if d.retired[gr] || d.dev.FailedGlobal(gr) {
+			continue
+		}
+		if d.dev.State(dram.RankID{Channel: ch, Rank: rk}) == dram.MPSM {
+			continue
+		}
+		free += int64(len(d.free[gr]))
+	}
+	return free
 }
 
 // removeFromPoweredDown drops id from any virtual rank group so a later

@@ -10,9 +10,11 @@ import (
 // Scrubber is a patrol scrubber: a background walker that sweeps the
 // device's segments at a bounded rate (like DRAM patrol scrub, it uses
 // idle cycles), verifying mapping-metadata integrity as it goes and
-// accumulating per-rank error counts reported by the media. Ranks whose
-// error counts cross a threshold are retirement candidates (see
-// RetireRank) — the reliability loop the paper's conclusion sketches.
+// discovering latent media errors. Errors are reported through the device's
+// fault path (dram.Device.ScrubSegment → FaultHook), which feeds the
+// HealthMonitor's storm detector; ranks whose accumulated error counts cross
+// a threshold are retirement candidates (see RetireRank) — the reliability
+// loop the paper's conclusion sketches.
 //
 // Ranks in MPSM hold no data and are skipped; ranks in self-refresh retain
 // data but scrubbing them would wake them, so they are skipped too and
@@ -21,33 +23,28 @@ type Scrubber struct {
 	d      *DTL
 	cursor dram.DSN
 
-	scrubbed   int64
-	sweeps     int64
-	skipped    int64
-	errorCount map[int]int64 // injected/observed media errors per global rank
-	pending    map[dram.DSN]int
+	scrubbed int64
+	sweeps   int64
+	skipped  int64
 }
 
 // Scrubber returns the device's patrol scrubber (one per DTL).
 func (d *DTL) Scrubber() *Scrubber {
 	if d.scrub == nil {
-		d.scrub = &Scrubber{
-			d:          d,
-			errorCount: make(map[int]int64),
-			pending:    make(map[dram.DSN]int),
-		}
+		d.scrub = &Scrubber{d: d}
 	}
 	return d.scrub
 }
 
-// InjectErrors marks a physical segment as carrying n correctable media
-// errors; the next patrol pass over it will record them against its rank.
-// (Test/fault-injection hook standing in for ECC telemetry.)
-func (s *Scrubber) InjectErrors(dsn dram.DSN, n int) {
-	if int64(dsn) < 0 || int64(dsn) >= s.d.cfg.Geometry.TotalSegments() {
-		panic(fmt.Sprintf("core: inject on out-of-range dsn %d", dsn))
+// InjectErrors plants n latent correctable errors on a physical segment; the
+// next patrol pass over it will discover and report them through the device
+// fault path. It rejects out-of-range segments and non-positive counts.
+// (Test/fault-injection hook standing in for real media wear.)
+func (s *Scrubber) InjectErrors(dsn dram.DSN, n int) error {
+	if err := s.d.dev.SeedLatentErrors(dsn, n); err != nil {
+		return fmt.Errorf("core: inject: %w", err)
 	}
-	s.pending[dsn] += n
+	return nil
 }
 
 // Run advances the patrol by up to budget segments at virtual time now,
@@ -88,11 +85,9 @@ func (s *Scrubber) Run(now sim.Time, budget int) (int, error) {
 			}
 		}
 
-		// Collect media-error telemetry.
-		if n := s.pending[dsn]; n > 0 {
-			s.errorCount[gr] += int64(n)
-			delete(s.pending, dsn)
-		}
+		// The scrub read discovers any latent media errors; the device
+		// reports them through the fault hook to the health monitor.
+		d.dev.ScrubSegment(dsn, now)
 		s.scrubbed++
 		done++
 	}
@@ -102,9 +97,10 @@ func (s *Scrubber) Run(now sim.Time, budget int) (int, error) {
 	return done, nil
 }
 
-// ErrorCount reports accumulated media errors for a rank.
+// ErrorCount reports accumulated correctable media errors for a rank, as
+// counted by the device's ECC path (both scrub-discovered and in-band).
 func (s *Scrubber) ErrorCount(id dram.RankID) int64 {
-	return s.errorCount[s.d.codec.GlobalRank(id.Channel, id.Rank)]
+	return s.d.dev.CorrectableCount(id)
 }
 
 // RanksOverThreshold lists ranks whose accumulated error count reached the
@@ -114,8 +110,9 @@ func (s *Scrubber) RanksOverThreshold(threshold int64) []dram.RankID {
 	g := s.d.cfg.Geometry
 	for rk := 0; rk < g.RanksPerChannel; rk++ {
 		for ch := 0; ch < g.Channels; ch++ {
-			if s.errorCount[s.d.codec.GlobalRank(ch, rk)] >= threshold {
-				out = append(out, dram.RankID{Channel: ch, Rank: rk})
+			id := dram.RankID{Channel: ch, Rank: rk}
+			if s.d.dev.CorrectableCount(id) >= threshold {
+				out = append(out, id)
 			}
 		}
 	}

@@ -64,8 +64,12 @@ func TestScrubCollectsInjectedErrors(t *testing.T) {
 	}
 	l := d.codec.DecodeDSN(target)
 	id := dram.RankID{Channel: l.Channel, Rank: l.Rank}
-	s.InjectErrors(target, 7)
-	s.InjectErrors(target, 3)
+	if err := s.InjectErrors(target, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InjectErrors(target, 3); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.Run(0, int(d.Config().Geometry.TotalSegments())); err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +100,9 @@ func TestScrubThenRetireLoop(t *testing.T) {
 	}
 	l := d.codec.DecodeDSN(target)
 	id := dram.RankID{Channel: l.Channel, Rank: l.Rank}
-	s.InjectErrors(target, 100)
+	if err := s.InjectErrors(target, 100); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.Run(0, int(d.Config().Geometry.TotalSegments())); err != nil {
 		t.Fatal(err)
 	}
@@ -141,12 +147,58 @@ func TestScrubDetectsMetadataCorruption(t *testing.T) {
 	}
 }
 
-func TestScrubInjectOutOfRangePanics(t *testing.T) {
+// TestScrubInjectOutOfRangeReturnsError is the regression test for the
+// InjectErrors panic: out-of-range segments and non-positive counts must be
+// rejected with an error, not a crash.
+func TestScrubInjectOutOfRangeReturnsError(t *testing.T) {
 	d := newTestDTL(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	s := d.Scrubber()
+	if err := s.InjectErrors(dram.DSN(1<<40), 1); err == nil {
+		t.Fatal("out-of-range inject should return an error")
+	}
+	if err := s.InjectErrors(dram.DSN(-1), 1); err == nil {
+		t.Fatal("negative dsn inject should return an error")
+	}
+	if err := s.InjectErrors(0, 0); err == nil {
+		t.Fatal("zero-count inject should return an error")
+	}
+	if err := s.InjectErrors(0, 1); err != nil {
+		t.Fatalf("in-range inject failed: %v", err)
+	}
+}
+
+// TestScrubReportsThroughFaultPath verifies the scrubber's error reporting
+// now flows through the device fault hook into the health monitor rather
+// than a private pending map.
+func TestScrubReportsThroughFaultPath(t *testing.T) {
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 256*dram.MiB, 0)
+	s := d.Scrubber()
+	var target dram.DSN
+	for dsn, hsn := range d.revMap {
+		if hsn != dsnFree {
+			target = dram.DSN(dsn)
+			break
 		}
-	}()
-	d.Scrubber().InjectErrors(dram.DSN(1<<40), 1)
+	}
+	if err := s.InjectErrors(target, 5); err != nil {
+		t.Fatal(err)
+	}
+	if d.dev.LatentErrors(target) != 5 {
+		t.Fatalf("latent errors = %d, want 5", d.dev.LatentErrors(target))
+	}
+	if _, err := s.Run(0, int(d.Config().Geometry.TotalSegments())); err != nil {
+		t.Fatal(err)
+	}
+	if d.dev.LatentErrors(target) != 0 {
+		t.Fatal("scrub should have consumed latent errors")
+	}
+	l := d.codec.DecodeDSN(target)
+	id := dram.RankID{Channel: l.Channel, Rank: l.Rank}
+	if got := d.dev.CorrectableCount(id); got != 5 {
+		t.Fatalf("device correctable count = %d, want 5", got)
+	}
+	if lvl := d.health.BucketLevel(id, 0); lvl != 5 {
+		t.Fatalf("health bucket = %v, want 5 (fault hook not wired?)", lvl)
+	}
 }

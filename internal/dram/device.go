@@ -44,6 +44,11 @@ type Device struct {
 
 	lastAccount  sim.Time
 	onTransition TransitionHook
+
+	// fault is lazily allocated on the first injected fault (see fault.go);
+	// fault-free devices never touch it.
+	fault   *faultState
+	onFault FaultHook
 }
 
 // TransitionHook observes every power-state change as it is applied. readyAt
@@ -119,9 +124,16 @@ func (d *Device) SetState(id RankID, target PowerState, now sim.Time) sim.Time {
 	d.accountRank(r, now)
 
 	var penalty sim.Time
+	var wakeFault sim.Time
 	switch {
 	case r.state == SelfRefresh && target == Standby:
 		penalty = d.tim.SelfRefreshExit
+		if d.fault != nil {
+			if extra := d.fault.ranks[d.codec.GlobalRank(id.Channel, id.Rank)].wakeExtra; extra > 0 {
+				penalty += extra
+				wakeFault = extra
+			}
+		}
 	case r.state == MPSM && target == Standby:
 		penalty = d.tim.MPSMExit
 	case target == SelfRefresh:
@@ -139,6 +151,9 @@ func (d *Device) SetState(id RankID, target PowerState, now sim.Time) sim.Time {
 	r.readyAt = maxTime(now, r.readyAt) + penalty
 	if d.onTransition != nil {
 		d.onTransition(id, from, target, now, r.readyAt)
+	}
+	if wakeFault > 0 {
+		d.raise(FaultEvent{Kind: FaultWake, Rank: id, DSN: -1, Count: 1, Extra: wakeFault, At: now})
 	}
 	return r.readyAt
 }

@@ -1,0 +1,254 @@
+package dram
+
+import (
+	"fmt"
+
+	"dtl/internal/sim"
+)
+
+// FaultKind classifies a media or rank fault raised by the device.
+type FaultKind int
+
+const (
+	// FaultCorrectable is an ECC-corrected media error: data is intact but
+	// the error counts toward the rank's health budget.
+	FaultCorrectable FaultKind = iota
+	// FaultUncorrectable is an ECC-uncorrectable media error detected on a
+	// segment. The DTL treats the segment's rank as suspect.
+	FaultUncorrectable
+	// FaultWake is a transition fault: the rank took an abnormal latency
+	// spike exiting a low-power state (or is stuck and barely wakes at all).
+	FaultWake
+	// FaultRankFailure is a whole-rank failure: the rank keeps serving reads
+	// in a degraded mode (extra access latency) but should be evacuated.
+	FaultRankFailure
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCorrectable:
+		return "correctable"
+	case FaultUncorrectable:
+		return "uncorrectable"
+	case FaultWake:
+		return "wake-fault"
+	case FaultRankFailure:
+		return "rank-failure"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultEvent is the ECC/health record the device reports to its observer.
+type FaultEvent struct {
+	Kind FaultKind
+	Rank RankID
+	// DSN is the affected segment for media errors (-1 for rank-scoped
+	// faults).
+	DSN DSN
+	// Count is the number of errors folded into this event (correctable
+	// errors arriving in bursts are batched).
+	Count int
+	// Extra is the abnormal latency for FaultWake events.
+	Extra sim.Time
+	At    sim.Time
+}
+
+// FaultHook observes fault events as they are raised. Hooks run synchronously
+// on the raising path and must not call back into the device.
+type FaultHook func(ev FaultEvent)
+
+// rankFault is the per-rank fault state the device maintains.
+type rankFault struct {
+	failed        bool
+	wakeExtra     sim.Time // abnormal extra latency on self-refresh exit
+	correctable   int64
+	uncorrectable int64
+}
+
+// faultState is lazily allocated on the first injected fault so that
+// fault-free devices pay nothing on the access path.
+type faultState struct {
+	ranks []rankFault
+	// latent maps a segment to the number of errors a patrol scrub will
+	// discover there (the "pending" errors previously tracked ad hoc by the
+	// core scrubber).
+	latent map[DSN]int
+}
+
+func (d *Device) faults() *faultState {
+	if d.fault == nil {
+		d.fault = &faultState{
+			ranks:  make([]rankFault, d.geom.TotalRanks()),
+			latent: make(map[DSN]int),
+		}
+	}
+	return d.fault
+}
+
+// OnFault installs the fault observer (nil uninstalls it). The core
+// HealthMonitor uses it as the device→DTL error-reporting path.
+func (d *Device) OnFault(h FaultHook) { d.onFault = h }
+
+func (d *Device) raise(ev FaultEvent) {
+	if d.onFault != nil {
+		d.onFault(ev)
+	}
+}
+
+// checkDSN validates that a segment number addresses a real segment slot.
+func (d *Device) checkDSN(dsn DSN) error {
+	if int64(dsn) < 0 || int64(dsn) >= d.geom.TotalSegments() {
+		return fmt.Errorf("dram: dsn %d out of range [0,%d)", dsn, d.geom.TotalSegments())
+	}
+	return nil
+}
+
+// RaiseCorrectable reports n ECC-corrected errors on a segment at now. The
+// event is delivered to the fault hook immediately (the DDR5-style in-band
+// ECC reporting path), unlike SeedLatentErrors which waits for patrol scrub.
+func (d *Device) RaiseCorrectable(dsn DSN, n int, now sim.Time) error {
+	if err := d.checkDSN(dsn); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("dram: correctable error count must be positive, got %d", n)
+	}
+	f := d.faults()
+	loc := d.codec.DecodeDSN(dsn)
+	id := RankID{Channel: loc.Channel, Rank: loc.Rank}
+	f.ranks[d.codec.GlobalRank(loc.Channel, loc.Rank)].correctable += int64(n)
+	d.raise(FaultEvent{Kind: FaultCorrectable, Rank: id, DSN: dsn, Count: n, At: now})
+	return nil
+}
+
+// RaiseUncorrectable reports an ECC-uncorrectable error on a segment at now.
+func (d *Device) RaiseUncorrectable(dsn DSN, now sim.Time) error {
+	if err := d.checkDSN(dsn); err != nil {
+		return err
+	}
+	f := d.faults()
+	loc := d.codec.DecodeDSN(dsn)
+	id := RankID{Channel: loc.Channel, Rank: loc.Rank}
+	f.ranks[d.codec.GlobalRank(loc.Channel, loc.Rank)].uncorrectable++
+	d.raise(FaultEvent{Kind: FaultUncorrectable, Rank: id, DSN: dsn, Count: 1, At: now})
+	return nil
+}
+
+// SeedLatentErrors plants n correctable errors on a segment that remain
+// invisible until a patrol scrub visits it (ScrubSegment). This is the
+// error-injection path for testing the scrubber itself.
+func (d *Device) SeedLatentErrors(dsn DSN, n int) error {
+	if err := d.checkDSN(dsn); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("dram: latent error count must be positive, got %d", n)
+	}
+	d.faults().latent[dsn] += n
+	return nil
+}
+
+// ScrubSegment models a patrol-scrub read of one segment at now: any latent
+// errors planted there are discovered, counted against the rank, and
+// reported through the fault hook. It returns the number of errors found.
+func (d *Device) ScrubSegment(dsn DSN, now sim.Time) int {
+	if d.fault == nil {
+		return 0
+	}
+	n, ok := d.fault.latent[dsn]
+	if !ok {
+		return 0
+	}
+	delete(d.fault.latent, dsn)
+	loc := d.codec.DecodeDSN(dsn)
+	id := RankID{Channel: loc.Channel, Rank: loc.Rank}
+	d.fault.ranks[d.codec.GlobalRank(loc.Channel, loc.Rank)].correctable += int64(n)
+	d.raise(FaultEvent{Kind: FaultCorrectable, Rank: id, DSN: dsn, Count: n, At: now})
+	return n
+}
+
+// LatentErrors reports the number of seeded-but-undiscovered errors on a
+// segment (for tests).
+func (d *Device) LatentErrors(dsn DSN) int {
+	if d.fault == nil {
+		return 0
+	}
+	return d.fault.latent[dsn]
+}
+
+// FailRank marks a whole rank as failed at now. A failed rank keeps
+// retaining and serving data — the media is degraded, not gone — but every
+// access pays Timing.DegradedAccess and the health monitor is expected to
+// evacuate and retire it. Failing an already-failed rank is a no-op.
+func (d *Device) FailRank(id RankID, now sim.Time) {
+	f := d.faults()
+	gr := d.codec.GlobalRank(id.Channel, id.Rank)
+	if f.ranks[gr].failed {
+		return
+	}
+	f.ranks[gr].failed = true
+	d.raise(FaultEvent{Kind: FaultRankFailure, Rank: id, DSN: -1, Count: 1, At: now})
+}
+
+// Failed reports whether the rank has suffered a whole-rank failure.
+func (d *Device) Failed(id RankID) bool {
+	if d.fault == nil {
+		return false
+	}
+	return d.fault.ranks[d.codec.GlobalRank(id.Channel, id.Rank)].failed
+}
+
+// FailedGlobal is Failed keyed by global rank id (allocator hot path).
+func (d *Device) FailedGlobal(gr int) bool {
+	if d.fault == nil {
+		return false
+	}
+	return d.fault.ranks[gr].failed
+}
+
+// AnyFailed reports whether any rank has failed (fast path gate for
+// fault-aware routing).
+func (d *Device) AnyFailed() bool {
+	if d.fault == nil {
+		return false
+	}
+	for i := range d.fault.ranks {
+		if d.fault.ranks[i].failed {
+			return true
+		}
+	}
+	return false
+}
+
+// SetWakeFault installs an abnormal extra latency charged every time the
+// rank exits self-refresh; each such exit raises a FaultWake event. A very
+// large extra models a rank stuck in self-refresh. Zero clears the fault.
+func (d *Device) SetWakeFault(id RankID, extra sim.Time) {
+	d.faults().ranks[d.codec.GlobalRank(id.Channel, id.Rank)].wakeExtra = extra
+}
+
+// WakeFault reports the configured abnormal self-refresh-exit latency.
+func (d *Device) WakeFault(id RankID) sim.Time {
+	if d.fault == nil {
+		return 0
+	}
+	return d.fault.ranks[d.codec.GlobalRank(id.Channel, id.Rank)].wakeExtra
+}
+
+// CorrectableCount reports the total ECC-corrected errors charged to a rank.
+func (d *Device) CorrectableCount(id RankID) int64 {
+	if d.fault == nil {
+		return 0
+	}
+	return d.fault.ranks[d.codec.GlobalRank(id.Channel, id.Rank)].correctable
+}
+
+// UncorrectableCount reports the total uncorrectable errors on a rank.
+func (d *Device) UncorrectableCount(id RankID) int64 {
+	if d.fault == nil {
+		return 0
+	}
+	return d.fault.ranks[d.codec.GlobalRank(id.Channel, id.Rank)].uncorrectable
+}

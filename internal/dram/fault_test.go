@@ -1,0 +1,201 @@
+package dram
+
+import (
+	"testing"
+
+	"dtl/internal/sim"
+)
+
+func TestFaultKindStrings(t *testing.T) {
+	want := map[FaultKind]string{
+		FaultCorrectable:   "correctable",
+		FaultUncorrectable: "uncorrectable",
+		FaultWake:          "wake-fault",
+		FaultRankFailure:   "rank-failure",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestFaultFreeDeviceHasNoState(t *testing.T) {
+	d := newTestDevice()
+	id := RankID{Channel: 0, Rank: 0}
+	if d.fault != nil {
+		t.Fatal("fresh device should not allocate fault state")
+	}
+	// All read paths are nil-safe before the first injection.
+	if d.Failed(id) || d.FailedGlobal(0) || d.AnyFailed() {
+		t.Fatal("fault-free device reports a failure")
+	}
+	if d.CorrectableCount(id) != 0 || d.UncorrectableCount(id) != 0 ||
+		d.WakeFault(id) != 0 || d.LatentErrors(0) != 0 {
+		t.Fatal("fault-free device reports nonzero counts")
+	}
+	if d.ScrubSegment(0, 0) != 0 {
+		t.Fatal("scrub found errors on a fault-free device")
+	}
+	if d.fault != nil {
+		t.Fatal("read paths must not allocate fault state")
+	}
+}
+
+func TestRaiseCorrectableDeliversHook(t *testing.T) {
+	d := newTestDevice()
+	var got []FaultEvent
+	d.OnFault(func(ev FaultEvent) { got = append(got, ev) })
+	dsn := DSN(7)
+	if err := d.RaiseCorrectable(dsn, 3, 100); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("events = %d, want 1", len(got))
+	}
+	ev := got[0]
+	loc := d.Codec().DecodeDSN(dsn)
+	if ev.Kind != FaultCorrectable || ev.Count != 3 || ev.DSN != dsn || ev.At != 100 ||
+		ev.Rank != (RankID{Channel: loc.Channel, Rank: loc.Rank}) {
+		t.Fatalf("event = %+v", ev)
+	}
+	if d.CorrectableCount(ev.Rank) != 3 {
+		t.Fatalf("correctable count = %d, want 3", d.CorrectableCount(ev.Rank))
+	}
+}
+
+func TestRaiseValidation(t *testing.T) {
+	d := newTestDevice()
+	bad := DSN(d.Geometry().TotalSegments())
+	if err := d.RaiseCorrectable(bad, 1, 0); err == nil {
+		t.Error("out-of-range correctable accepted")
+	}
+	if err := d.RaiseCorrectable(0, 0, 0); err == nil {
+		t.Error("zero-count correctable accepted")
+	}
+	if err := d.RaiseUncorrectable(DSN(-1), 0); err == nil {
+		t.Error("negative-dsn uncorrectable accepted")
+	}
+	if err := d.SeedLatentErrors(bad, 1); err == nil {
+		t.Error("out-of-range latent seed accepted")
+	}
+	if err := d.SeedLatentErrors(0, -2); err == nil {
+		t.Error("negative latent count accepted")
+	}
+}
+
+func TestLatentErrorsWaitForScrub(t *testing.T) {
+	d := newTestDevice()
+	var events int
+	d.OnFault(func(FaultEvent) { events++ })
+	dsn := DSN(42)
+	if err := d.SeedLatentErrors(dsn, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SeedLatentErrors(dsn, 2); err != nil {
+		t.Fatal(err)
+	}
+	if events != 0 {
+		t.Fatal("seeding latent errors must not raise events")
+	}
+	if d.LatentErrors(dsn) != 6 {
+		t.Fatalf("latent = %d, want 6", d.LatentErrors(dsn))
+	}
+	if n := d.ScrubSegment(dsn, 500); n != 6 {
+		t.Fatalf("scrub found %d, want 6", n)
+	}
+	if events != 1 {
+		t.Fatalf("scrub raised %d events, want 1 batched event", events)
+	}
+	if d.LatentErrors(dsn) != 0 {
+		t.Fatal("scrub left latent errors behind")
+	}
+	// A second scrub of the same segment finds nothing.
+	if n := d.ScrubSegment(dsn, 600); n != 0 {
+		t.Fatalf("re-scrub found %d, want 0", n)
+	}
+	loc := d.Codec().DecodeDSN(dsn)
+	if d.CorrectableCount(RankID{Channel: loc.Channel, Rank: loc.Rank}) != 6 {
+		t.Fatal("scrubbed errors not charged to the rank")
+	}
+}
+
+func TestFailRankIdempotentAndScoped(t *testing.T) {
+	d := newTestDevice()
+	var events int
+	d.OnFault(func(FaultEvent) { events++ })
+	id := RankID{Channel: 1, Rank: 2}
+	d.FailRank(id, 10)
+	d.FailRank(id, 20) // no-op
+	if events != 1 {
+		t.Fatalf("events = %d, want 1 (idempotent failure)", events)
+	}
+	if !d.Failed(id) || !d.AnyFailed() {
+		t.Fatal("failure not recorded")
+	}
+	if !d.FailedGlobal(d.Codec().GlobalRank(id.Channel, id.Rank)) {
+		t.Fatal("FailedGlobal disagrees with Failed")
+	}
+	if d.Failed(RankID{Channel: 1, Rank: 3}) || d.Failed(RankID{Channel: 2, Rank: 2}) {
+		t.Fatal("failure leaked to other ranks")
+	}
+}
+
+func TestWakeFaultChargesSelfRefreshExit(t *testing.T) {
+	d := newTestDevice()
+	var wakes []FaultEvent
+	d.OnFault(func(ev FaultEvent) {
+		if ev.Kind == FaultWake {
+			wakes = append(wakes, ev)
+		}
+	})
+	id := RankID{Channel: 0, Rank: 1}
+	extra := 50 * sim.Microsecond
+	d.SetWakeFault(id, extra)
+	if d.WakeFault(id) != extra {
+		t.Fatal("wake fault not installed")
+	}
+
+	d.SetState(id, SelfRefresh, 1000)
+	healthy := RankID{Channel: 0, Rank: 2}
+	d.SetState(healthy, SelfRefresh, 1000)
+
+	normal := d.SetState(healthy, Standby, 2000)
+	faulty := d.SetState(id, Standby, 2000)
+	if faulty != normal+extra {
+		t.Fatalf("faulty wake penalty %v, want %v + %v", faulty, normal, extra)
+	}
+	if len(wakes) != 1 || wakes[0].Extra != extra || wakes[0].Rank != id {
+		t.Fatalf("wake events = %+v", wakes)
+	}
+
+	// Clearing the fault restores normal exits and stops events. SetState
+	// returns an absolute ready time that carries the earlier 50us penalty
+	// forward, so re-transition well past it and compare penalty deltas.
+	d.SetWakeFault(id, 0)
+	enter := sim.Millisecond
+	exit := 2 * sim.Millisecond
+	d.SetState(id, SelfRefresh, enter)
+	if got := d.SetState(id, Standby, exit) - exit; got != normal-2000 {
+		t.Fatalf("post-clear wake penalty %v, want %v", got, normal-2000)
+	}
+	if len(wakes) != 1 {
+		t.Fatal("cleared wake fault still raises events")
+	}
+}
+
+func TestUncorrectableCounts(t *testing.T) {
+	d := newTestDevice()
+	dsn := DSN(11)
+	if err := d.RaiseUncorrectable(dsn, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RaiseUncorrectable(dsn, 1); err != nil {
+		t.Fatal(err)
+	}
+	loc := d.Codec().DecodeDSN(dsn)
+	id := RankID{Channel: loc.Channel, Rank: loc.Rank}
+	if d.UncorrectableCount(id) != 2 {
+		t.Fatalf("uncorrectable = %d, want 2", d.UncorrectableCount(id))
+	}
+}

@@ -116,6 +116,11 @@ type Timing struct {
 	MPSMExit         sim.Time // MPSM exit to first command
 	MPSMEnter        sim.Time
 	SelfRefreshEnter sim.Time
+
+	// DegradedAccess is the extra per-access latency charged when the target
+	// rank has suffered a whole-rank failure (retries, on-die repair reads)
+	// until the DTL drains and retires it.
+	DegradedAccess sim.Time
 }
 
 // DefaultTiming returns DDR4-2933-like parameters.
@@ -137,5 +142,6 @@ func DefaultTiming() Timing {
 		MPSMExit:         600 * sim.Nanosecond,
 		MPSMEnter:        200 * sim.Nanosecond,
 		SelfRefreshEnter: 100 * sim.Nanosecond,
+		DegradedAccess:   2000 * sim.Nanosecond,
 	}
 }

@@ -65,10 +65,11 @@ func AblationSMC(o Options) Result {
 	configs := []struct {
 		name   string
 		l1, l2 int
+		paper  bool // the paper's sizing gets the -trace/-metrics outputs
 	}{
-		{"16/256", 16, 256},
-		{"64/1024 (paper)", 64, 1024},
-		{"256/4096", 256, 4096},
+		{"16/256", 16, 256, false},
+		{"64/1024 (paper)", 64, 1024, true},
+		{"256/4096", 256, 4096, false},
 	}
 	tab := metrics.NewTable("L1/L2 entries", "L1 miss", "L2 miss", "translation")
 	for _, sc := range configs {
@@ -90,6 +91,10 @@ func AblationSMC(o Options) Result {
 		if err != nil {
 			panic(err)
 		}
+		var rt *runTelemetry
+		if sc.paper {
+			rt = o.telemetryFor(d, 50*sim.Microsecond)
+		}
 		now := sim.Time(0)
 		for i := 0; i < n; i++ {
 			a := g.Next()
@@ -97,6 +102,10 @@ func AblationSMC(o Options) Result {
 				panic(err)
 			}
 			now += 5
+			rt.tick(now)
+		}
+		if err := rt.finish(now); err != nil {
+			panic(err)
 		}
 		st := d.SMCStats()
 		m := core.AMATFromConfig(cfg, cxl.CXLMemoryLatency, st)
@@ -111,7 +120,10 @@ func AblationSMC(o Options) Result {
 }
 
 // ablSelfRefreshRun exercises the hotness engine under one parameter set
-// and reports self-refresh entries, swaps and the SR duty achieved.
+// and reports self-refresh entries, swaps and the SR duty achieved. When o
+// carries -trace/-metrics paths the run is instrumented; sweep callers pass
+// o.withoutTelemetry() for every point but the paper's, so the output files
+// describe a single well-defined configuration.
 func ablSelfRefreshRun(o Options, threshold sim.Time, tspEntries int, n int) (enters, swapped int64, duty float64) {
 	geom := dram.Geometry{
 		Channels: 4, RanksPerChannel: 4, BanksPerRank: 16,
@@ -136,6 +148,7 @@ func ablSelfRefreshRun(o Options, threshold sim.Time, tspEntries int, n int) (en
 		panic(err)
 	}
 	d.Hotness().Enable(0)
+	rt := o.telemetryFor(d, 100*sim.Microsecond)
 	now := sim.Time(0)
 	for i := 0; i < n; i++ {
 		a := g.Next()
@@ -143,8 +156,12 @@ func ablSelfRefreshRun(o Options, threshold sim.Time, tspEntries int, n int) (en
 			panic(err)
 		}
 		now += 2
+		rt.tick(now)
 	}
 	d.Tick(now)
+	if err := rt.finish(now); err != nil {
+		panic(err)
+	}
 	dev := d.Device()
 	dev.AccountUpTo(now)
 	_, srE, _ := dev.BackgroundEnergy()
@@ -165,7 +182,11 @@ func AblationProfilingThreshold(o Options) Result {
 	n := o.scaled(1_500_000, 600_000)
 	tab := metrics.NewTable("threshold", "SR enters", "segments swapped", "SR duty")
 	for _, thr := range []sim.Time{50_000, 100_000, 400_000} {
-		enters, swapped, duty := ablSelfRefreshRun(o, thr, 32, n)
+		po := o
+		if thr != 100_000 { // only the paper's threshold writes -trace/-metrics
+			po = o.withoutTelemetry()
+		}
+		enters, swapped, duty := ablSelfRefreshRun(po, thr, 32, n)
 		tab.AddRowf("%v\t%d\t%d\t%s", thr, enters, swapped, pct(duty))
 		res.Metrics[fmt.Sprintf("sr_enters_%dus", int64(thr)/1000)] = float64(enters)
 		res.Metrics[fmt.Sprintf("swapped_%dus", int64(thr)/1000)] = float64(swapped)
@@ -187,7 +208,11 @@ func AblationTSPTimeout(o Options) Result {
 	n := o.scaled(1_500_000, 600_000)
 	tab := metrics.NewTable("budget (entries)", "SR enters", "SR duty")
 	for _, budget := range []int{4, 32, 256} {
-		enters, _, duty := ablSelfRefreshRun(o, 100_000, budget, n)
+		po := o
+		if budget != 32 { // only the paper's budget writes -trace/-metrics
+			po = o.withoutTelemetry()
+		}
+		enters, _, duty := ablSelfRefreshRun(po, 100_000, budget, n)
 		tab.AddRowf("%d\t%d\t%s", budget, enters, pct(duty))
 		res.Metrics[fmt.Sprintf("sr_enters_b%d", budget)] = float64(enters)
 	}

@@ -44,6 +44,11 @@ type Options struct {
 	// SamplePeriod is the virtual-time metrics sampling period; 0 picks a
 	// per-experiment default matched to the run's horizon.
 	SamplePeriod sim.Time
+	// FaultSpec, when non-empty, attaches a deterministic fault-injection
+	// process (internal/fault grammar) to the experiments that drive a DTL
+	// device over the 6-hour schedule (fig12/fig13/faults). Allocation
+	// failures under injected faults shed load instead of aborting the run.
+	FaultSpec string
 }
 
 // DefaultOptions returns full-scale deterministic options writing to w.
@@ -126,6 +131,7 @@ func All() []Runner {
 		{"abl-threshold", "Ablation: profiling idle threshold (§3.4)", AblationProfilingThreshold},
 		{"abl-tsp", "Ablation: TSP walk budget (§3.4)", AblationTSPTimeout},
 		{"abl-rankgroup", "Ablation: rank-group vs per-rank power-down (§3.3)", AblationRankGroup},
+		{"faults", "Reliability loop under injected ECC storms and rank failure", Faults},
 	}
 }
 

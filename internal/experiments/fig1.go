@@ -5,6 +5,7 @@ import (
 
 	"dtl/internal/metrics"
 	"dtl/internal/sim"
+	"dtl/internal/telemetry"
 	"dtl/internal/vmtrace"
 )
 
@@ -24,6 +25,25 @@ func Fig1(o Options) Result {
 	srv := vmtrace.DefaultServer()
 	_, snaps, err := vmtrace.Schedule(vms, srv, cfg.Horizon)
 	if err != nil {
+		panic(err)
+	}
+
+	// -metrics replays the snapshot series through sampled schedule gauges,
+	// so fig1 shares the registry-CSV output path of the device experiments.
+	reg := telemetry.NewRegistry()
+	activeVMs := reg.Gauge("fig1.active_vms")
+	vcpusUsed := reg.Gauge("fig1.vcpus_used")
+	memBytes := reg.Gauge("fig1.mem_bytes")
+	memUtil := reg.Gauge("fig1.mem_util")
+	rt := o.telemetryForRegistry(reg, vmtrace.Interval)
+	for _, s := range snaps {
+		activeVMs.Set(float64(s.ActiveVMs))
+		vcpusUsed.Set(float64(s.UsedVCPUs))
+		memBytes.Set(float64(s.UsedMem))
+		memUtil.Set(float64(s.UsedMem) / float64(srv.MemBytes))
+		rt.tick(s.At)
+	}
+	if err := rt.finish(cfg.Horizon); err != nil {
 		panic(err)
 	}
 

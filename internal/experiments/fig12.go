@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"dtl/internal/core"
 	"dtl/internal/cxl"
 	"dtl/internal/dram"
+	"dtl/internal/fault"
 	"dtl/internal/metrics"
 	"dtl/internal/power"
 	"dtl/internal/sim"
@@ -53,6 +55,14 @@ type pdRun struct {
 	migrationSpans  int            // intervals with migration activity
 	perfOverhead    float64
 	bytesMigrated   int64
+
+	// Reliability outcomes, populated when Options.FaultSpec is set.
+	faultStats    fault.Stats
+	shedVMs       int // allocations refused under degraded capacity
+	probeFailures int // end-of-run read probes that failed (must stay 0)
+	retiredRanks  int
+	migStats      core.MigStats
+	health        map[string]float64 // core.health.* counter snapshot
 }
 
 func runPowerDownSchedule(o Options) pdRun {
@@ -80,6 +90,30 @@ func runPowerDownSchedule(o Options) pdRun {
 
 	run := pdRun{horizon: genCfg.Horizon}
 	rt := o.telemetryFor(d, vmtrace.Interval)
+
+	// With a fault spec, a seeded injector drives device faults on its own
+	// virtual-time engine, advanced in lockstep with the schedule clock; the
+	// health monitor (driven from d.Tick below) closes the loop by retiring
+	// degraded ranks. Allocation then degrades gracefully: requests the
+	// shrunken capacity cannot hold are shed, not fatal.
+	var inj *fault.Injector
+	var feng *sim.Engine
+	if o.FaultSpec != "" {
+		spec, err := fault.Parse(o.FaultSpec)
+		if err != nil {
+			panic(err)
+		}
+		feng = sim.NewEngine()
+		inj, err = fault.NewInjector(spec, d.Device(), feng)
+		if err != nil {
+			panic(err)
+		}
+		inj.Start(genCfg.Horizon)
+	}
+	shed := map[core.VMID]bool{}
+	// A patrol-scrub budget sized to cover the device roughly once per hour.
+	scrubPerInterval := int(g.TotalSegments() * int64(vmtrace.Interval) / int64(sim.Hour))
+
 	pm := d.Device().Power()
 	meter := power.NewMeter(pm)
 	live := map[core.VMID]vmtrace.VM{}
@@ -89,19 +123,38 @@ func runPowerDownSchedule(o Options) pdRun {
 	var prevMigBytes int64
 
 	for t := sim.Time(0); t <= genCfg.Horizon; t += vmtrace.Interval {
+		if feng != nil {
+			feng.RunUntil(t)
+		}
 		for ei < len(events) && events[ei].At <= t {
 			ev := events[ei]
 			ei++
+			id := core.VMID(ev.VM.ID)
 			if ev.Depart {
-				if err := d.DeallocateVM(core.VMID(ev.VM.ID), t); err != nil {
+				if shed[id] {
+					delete(shed, id) // never admitted; nothing to release
+					continue
+				}
+				if err := d.DeallocateVM(id, t); err != nil {
 					panic(err)
 				}
-				delete(live, core.VMID(ev.VM.ID))
+				delete(live, id)
 			} else {
-				if _, err := d.AllocateVM(core.VMID(ev.VM.ID), core.HostID(ev.VM.ID%cfg.MaxHosts), ev.VM.MemBytes, t); err != nil {
+				if _, err := d.AllocateVM(id, core.HostID(ev.VM.ID%cfg.MaxHosts), ev.VM.MemBytes, t); err != nil {
+					if inj != nil && errors.Is(err, core.ErrOutOfCapacity) {
+						run.shedVMs++
+						shed[id] = true
+						continue
+					}
 					panic(err)
 				}
-				live[core.VMID(ev.VM.ID)] = ev.VM
+				live[id] = ev.VM
+			}
+		}
+		if inj != nil {
+			d.Tick(t) // completes migrations and drives deferred retirements
+			if _, err := d.Scrubber().Run(t, scrubPerInterval); err != nil {
+				panic(fmt.Sprintf("experiments: scrub at %v: %v", t, err))
 			}
 		}
 
@@ -125,6 +178,34 @@ func runPowerDownSchedule(o Options) pdRun {
 		}
 		intervals++
 		rt.tick(t)
+	}
+	if inj != nil {
+		// Zero-data-loss check: every surviving VM's memory must still be
+		// addressable and readable (retired ranks were drained; a failed rank
+		// not yet drained still serves reads in degraded mode).
+		for id := range live {
+			addrs, err := d.VMAddresses(id)
+			if err != nil {
+				panic(err)
+			}
+			for _, a := range addrs {
+				if _, err := d.Access(a, false, genCfg.Horizon); err != nil {
+					run.probeFailures++
+				}
+			}
+		}
+		if err := d.CheckInvariants(); err != nil {
+			panic(fmt.Sprintf("experiments: invariants violated after fault run: %v", err))
+		}
+		run.faultStats = inj.Stats()
+		run.retiredRanks = len(d.RetiredRanks())
+		run.migStats = d.Migrator().Stats()
+		run.health = map[string]float64{}
+		for _, name := range []string{"storms", "auto_retires", "retires_deferred",
+			"retire_retries", "retires_abandoned", "fault_events"} {
+			v, _ := d.Registry().Value("core.health." + name)
+			run.health[name] = v
+		}
 	}
 	if err := rt.finish(genCfg.Horizon); err != nil {
 		panic(err)
@@ -164,11 +245,11 @@ func measurePerfOverhead(o Options, activeRanks int) float64 {
 	base := replayController(dram.Geometry{
 		Channels: 4, RanksPerChannel: 8, BanksPerRank: 16,
 		SegmentBytes: 2 * dram.MiB, RankBytes: 32 * dram.GiB,
-	}, true, cxl.CXLMemoryLatency, profiles, n, o.Seed)
+	}, true, cxl.CXLMemoryLatency, profiles, n, o.Seed, nil)
 	tech := replayController(dram.Geometry{
 		Channels: 4, RanksPerChannel: activeRanks, BanksPerRank: 16,
 		SegmentBytes: 2 * dram.MiB, RankBytes: 32 * dram.GiB,
-	}, false, cxl.CXLMemoryLatency, profiles, n, o.Seed)
+	}, false, cxl.CXLMemoryLatency, profiles, n, o.Seed, nil)
 	const translationOverhead = 0.0018
 	return tech.execTime()/base.execTime() - 1 + translationOverhead
 }

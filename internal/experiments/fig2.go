@@ -6,6 +6,8 @@ import (
 	"dtl/internal/cxl"
 	"dtl/internal/dram"
 	"dtl/internal/metrics"
+	"dtl/internal/sim"
+	"dtl/internal/telemetry"
 )
 
 // Fig2 reproduces the rank-count sensitivity study: CloudSuite on a
@@ -32,7 +34,16 @@ func Fig2(o Options) Result {
 			SegmentBytes:    2 * dram.MiB,
 			RankBytes:       32 * dram.GiB,
 		}
-		st := replayController(g, true, cxl.NativeDRAMLatency, profiles, n, o.Seed)
+		// -metrics samples the headline 2-rank configuration (the paper's
+		// claim compares it against the 8-rank baseline).
+		var rt *runTelemetry
+		if rk == 2 {
+			rt = o.telemetryForRegistry(telemetry.NewRegistry(), 100*sim.Microsecond)
+		}
+		st := replayController(g, true, cxl.NativeDRAMLatency, profiles, n, o.Seed, rt)
+		if err := rt.finish(st.endTime); err != nil {
+			panic(err)
+		}
 		t := st.execTime()
 		if rk == 8 {
 			baseTime = t

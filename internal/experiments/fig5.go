@@ -5,6 +5,7 @@ import (
 	"dtl/internal/dram"
 	"dtl/internal/metrics"
 	"dtl/internal/sim"
+	"dtl/internal/telemetry"
 )
 
 // Fig5 reproduces the rank-interleaving cost study: disabling
@@ -26,8 +27,17 @@ func Fig5(o Options) Result {
 		name string
 		lat  sim.Time
 	}{{"local (121ns)", cxl.NativeDRAMLatency}, {"CXL (210ns)", cxl.CXLMemoryLatency}} {
-		ri := replayController(g, true, link.lat, profiles, n, o.Seed)
-		nori := replayController(g, false, link.lat, profiles, n, o.Seed)
+		// -metrics samples the CXL channel-only replay (DTL's mapping at the
+		// paper's operating point); the other three runs stay uninstrumented.
+		var rt *runTelemetry
+		if link.lat == cxl.CXLMemoryLatency {
+			rt = o.telemetryForRegistry(telemetry.NewRegistry(), 100*sim.Microsecond)
+		}
+		ri := replayController(g, true, link.lat, profiles, n, o.Seed, nil)
+		nori := replayController(g, false, link.lat, profiles, n, o.Seed, rt)
+		if err := rt.finish(nori.endTime); err != nil {
+			panic(err)
+		}
 		loss := nori.execTime()/ri.execTime() - 1
 		tab.AddRowf("%s\trank-interleaved\t%s\t%.2f\t-",
 			link.name, nsT(ri.meanLatNs), ri.execTime()/1e6)

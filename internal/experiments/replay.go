@@ -17,6 +17,7 @@ type replayStats struct {
 	instr       int64
 	meanLatNs   float64 // device latency including the link
 	rowHitRatio float64
+	endTime     sim.Time // virtual time of the last arrival, for rt.finish
 }
 
 // execTime converts the replay into the wall-clock execution-time model at
@@ -37,12 +38,17 @@ func (r replayStats) execTime() float64 {
 // utilization in datacenters").
 const pressure = 2.0
 
+// rt, when non-nil, samples the controller's registry metrics over the
+// replay's virtual clock (the caller finishes it with the returned endTime).
 func replayController(g dram.Geometry, rankInterleave bool, linkLat sim.Time,
-	profiles []trace.Profile, n int, seed int64) replayStats {
+	profiles []trace.Profile, n int, seed int64, rt *runTelemetry) replayStats {
 
 	dev := dram.MustDevice(g, dram.DefaultPowerModel(), dram.DefaultTiming())
 	ctrl := memctrl.New(dev)
 	codec := dev.Codec()
+	if rt != nil {
+		ctrl.RegisterMetrics(rt.reg)
+	}
 
 	mix := trace.MustMixed(profiles, seed)
 	if mix.TotalFootprint() > g.TotalBytes() {
@@ -60,6 +66,7 @@ func replayController(g dram.Geometry, rankInterleave bool, linkLat sim.Time,
 	var latSum float64
 	var rowHits int64
 	var accesses int64
+	var endTime sim.Time
 	for i := 0; i < n; i++ {
 		a := mix.Next()
 		seq := a.Addr / segBytes
@@ -71,6 +78,8 @@ func replayController(g dram.Geometry, rankInterleave bool, linkLat sim.Time,
 			rowHits++
 		}
 		accesses++
+		endTime = arrive
+		rt.tick(arrive)
 	}
 
 	// The merged instruction clock advances at the aggregate rate; recover
@@ -80,6 +89,7 @@ func replayController(g dram.Geometry, rankInterleave bool, linkLat sim.Time,
 		instr:       lastInstr(mix),
 		meanLatNs:   latSum / float64(accesses),
 		rowHitRatio: float64(rowHits) / float64(accesses),
+		endTime:     endTime,
 	}
 }
 

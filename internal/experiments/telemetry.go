@@ -9,15 +9,16 @@ import (
 	"dtl/internal/telemetry"
 )
 
-// runTelemetry wires a DTL's metrics registry and event tracer to the files
-// requested in Options. A nil *runTelemetry is valid and makes every method
-// a no-op, so experiment loops call tick/finish unconditionally and pay
-// nothing when -trace/-metrics are off.
+// runTelemetry wires a metrics registry (and, for DTL-driven runs, the event
+// tracer) to the files requested in Options. A nil *runTelemetry is valid and
+// makes every method a no-op, so experiment loops call tick/finish
+// unconditionally and pay nothing when -trace/-metrics are off.
 type runTelemetry struct {
 	tracePath   string
 	metricsPath string
 
-	d    *core.DTL
+	d    *core.DTL // nil for registry-only runs (no tracer source)
+	reg  *telemetry.Registry
 	tr   *telemetry.Tracer
 	eng  *sim.Engine
 	stop func()
@@ -36,19 +37,42 @@ func (o Options) telemetryFor(d *core.DTL, defaultPeriod sim.Time) *runTelemetry
 		tracePath:   o.TracePath,
 		metricsPath: o.MetricsPath,
 		d:           d,
+		reg:         d.Registry(),
 		eng:         sim.NewEngine(),
 	}
 	if o.TracePath != "" {
 		rt.tr = d.StartTrace(0, 0)
 	}
-	if o.MetricsPath != "" {
-		period := o.SamplePeriod
-		if period <= 0 {
-			period = defaultPeriod
-		}
-		rt.stop = d.Registry().StartSampling(rt.eng, period)
-	}
+	rt.startSampling(o, defaultPeriod)
 	return rt
+}
+
+// telemetryForRegistry attaches periodic metrics sampling to a bare registry
+// for the experiments that have no DTL (fig1's schedule gauges, fig2/fig5's
+// raw controller replays). TracePath is ignored here: there is no tracer
+// source without a DTL, and Options documents which experiments honor it.
+func (o Options) telemetryForRegistry(reg *telemetry.Registry, defaultPeriod sim.Time) *runTelemetry {
+	if o.MetricsPath == "" {
+		return nil
+	}
+	rt := &runTelemetry{
+		metricsPath: o.MetricsPath,
+		reg:         reg,
+		eng:         sim.NewEngine(),
+	}
+	rt.startSampling(o, defaultPeriod)
+	return rt
+}
+
+func (rt *runTelemetry) startSampling(o Options, defaultPeriod sim.Time) {
+	if rt.metricsPath == "" {
+		return
+	}
+	period := o.SamplePeriod
+	if period <= 0 {
+		period = defaultPeriod
+	}
+	rt.stop = rt.reg.StartSampling(rt.eng, period)
 }
 
 // tick advances the sampling clock to now, firing any due interval timers.
@@ -80,7 +104,7 @@ func (rt *runTelemetry) finish(horizon sim.Time) error {
 	}
 	if rt.metricsPath != "" {
 		if err := writeTo(rt.metricsPath, func(f *os.File) error {
-			return rt.d.Registry().WriteCSV(f)
+			return rt.reg.WriteCSV(f)
 		}); err != nil {
 			return fmt.Errorf("experiments: writing metrics: %w", err)
 		}

@@ -1,0 +1,331 @@
+// Package fault is the deterministic fault-injection subsystem: a seeded,
+// virtual-time-driven fault process attached to a dram.Device. Clauses of a
+// textual spec compile into Poisson/burst correctable-error processes,
+// one-shot uncorrectable errors, transition faults (a rank that takes an
+// abnormal latency spike leaving self-refresh, or is effectively stuck
+// there), and whole-rank failures — all scheduled on the internal/sim event
+// heap so a run is exactly reproducible from its seed.
+//
+// Spec grammar (semicolon-separated clauses):
+//
+//	spec    := clause (";" clause)*
+//	clause  := "seed=" int
+//	         | kind ":" rank [":" params]
+//	kind    := "ce" | "storm" | "ue" | "wake" | "stuck" | "kill"
+//	rank    := "ch" int "/rk" int
+//	params  := param ("," param)*
+//	param   := "rate=" float          // events per second (ce, storm)
+//	         | "at=" duration         // activation time (default 0)
+//	         | "dur=" duration        // active window (default: rest of run)
+//	         | "n=" int               // errors per event (default 1)
+//	         | "extra=" duration      // wake-fault latency (wake; default 50us)
+//
+// Durations use Go syntax ("90m", "1.5s", "400us"). "ce" is a background
+// correctable-error process; "storm" is the same process with a default
+// rate high enough to trip the health monitor's leaky bucket. "stuck" is
+// "wake" with a very large default extra (the rank barely leaves
+// self-refresh). Example:
+//
+//	seed=7;storm:ch1/rk2:at=90m,rate=2000,dur=60s;kill:ch3/rk5:at=3h
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+// Kind is the clause type.
+type Kind int
+
+// Clause kinds.
+const (
+	// CE is a Poisson process of correctable errors on random segments of
+	// the rank.
+	CE Kind = iota
+	// Storm is CE with a default rate chosen to trip the storm detector.
+	Storm
+	// UE is a one-shot uncorrectable error on a random segment of the rank.
+	UE
+	// Wake charges an abnormal extra latency on every self-refresh exit of
+	// the rank for the clause window.
+	Wake
+	// Kill is a one-shot whole-rank failure.
+	Kill
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CE:
+		return "ce"
+	case Storm:
+		return "storm"
+	case UE:
+		return "ue"
+	case Wake:
+		return "wake"
+	case Kill:
+		return "kill"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Default clause parameters.
+const (
+	// DefaultCERate is the background correctable-error rate (events/s).
+	DefaultCERate = 2.0
+	// DefaultStormRate trips a DefaultHealthConfig leaky bucket within a
+	// fraction of a second.
+	DefaultStormRate = 2000.0
+	// DefaultWakeExtra is the abnormal self-refresh-exit latency.
+	DefaultWakeExtra = 50 * sim.Microsecond
+	// StuckWakeExtra models a rank that barely leaves self-refresh.
+	StuckWakeExtra = 400 * sim.Microsecond
+)
+
+// Clause is one compiled fault process.
+type Clause struct {
+	Kind  Kind
+	Rank  dram.RankID
+	Rate  float64  // events per second (CE/Storm)
+	At    sim.Time // activation time
+	Dur   sim.Time // active window; 0 = until the horizon
+	Count int      // errors per event (CE/Storm/UE)
+	Extra sim.Time // wake-fault latency (Wake)
+}
+
+// Spec is a parsed fault specification.
+type Spec struct {
+	Seed    int64
+	Clauses []Clause
+}
+
+// Parse compiles a textual fault spec. An empty string yields an empty spec.
+func Parse(s string) (Spec, error) {
+	spec := Spec{Seed: 1}
+	for _, raw := range strings.Split(s, ";") {
+		part := strings.TrimSpace(raw)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "seed="); ok {
+			seed, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: bad seed %q: %v", v, err)
+			}
+			spec.Seed = seed
+			continue
+		}
+		c, err := parseClause(part)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Clauses = append(spec.Clauses, c)
+	}
+	return spec, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed experiment
+// specs.
+func MustParse(s string) Spec {
+	spec, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+func parseClause(s string) (Clause, error) {
+	fields := strings.SplitN(s, ":", 3)
+	if len(fields) < 2 {
+		return Clause{}, fmt.Errorf("fault: clause %q needs kind:chN/rkM", s)
+	}
+	c := Clause{Count: 1}
+	switch strings.TrimSpace(fields[0]) {
+	case "ce":
+		c.Kind, c.Rate = CE, DefaultCERate
+	case "storm":
+		c.Kind, c.Rate = Storm, DefaultStormRate
+	case "ue":
+		c.Kind = UE
+	case "wake":
+		c.Kind, c.Extra = Wake, DefaultWakeExtra
+	case "stuck":
+		c.Kind, c.Extra = Wake, StuckWakeExtra
+	case "kill":
+		c.Kind = Kill
+	default:
+		return Clause{}, fmt.Errorf("fault: unknown kind %q in clause %q", fields[0], s)
+	}
+
+	rank := strings.TrimSpace(fields[1])
+	if _, err := fmt.Sscanf(rank, "ch%d/rk%d", &c.Rank.Channel, &c.Rank.Rank); err != nil {
+		return Clause{}, fmt.Errorf("fault: bad rank %q in clause %q (want chN/rkM)", rank, s)
+	}
+
+	if len(fields) == 3 {
+		for _, kv := range strings.Split(fields[2], ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return Clause{}, fmt.Errorf("fault: bad param %q in clause %q", kv, s)
+			}
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			var err error
+			switch key {
+			case "rate":
+				c.Rate, err = strconv.ParseFloat(val, 64)
+				if err == nil && c.Rate <= 0 {
+					err = fmt.Errorf("rate must be positive")
+				}
+			case "at":
+				c.At, err = parseDuration(val)
+			case "dur":
+				c.Dur, err = parseDuration(val)
+			case "n":
+				c.Count, err = strconv.Atoi(val)
+				if err == nil && c.Count <= 0 {
+					err = fmt.Errorf("count must be positive")
+				}
+			case "extra":
+				c.Extra, err = parseDuration(val)
+			default:
+				err = fmt.Errorf("unknown param")
+			}
+			if err != nil {
+				return Clause{}, fmt.Errorf("fault: param %q in clause %q: %v", kv, s, err)
+			}
+		}
+	}
+	return c, nil
+}
+
+func parseDuration(s string) (sim.Time, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("duration must be non-negative")
+	}
+	return sim.Time(d.Nanoseconds()), nil
+}
+
+// Stats counts what the injector actually delivered.
+type Stats struct {
+	CorrectableEvents   int64
+	CorrectableErrors   int64 // sum of per-event counts
+	UncorrectableEvents int64
+	WakeFaultsArmed     int64
+	RankKills           int64
+}
+
+// Injector drives a Spec against a device on a sim engine.
+type Injector struct {
+	spec  Spec
+	dev   *dram.Device
+	eng   *sim.Engine
+	codec *dram.AddressCodec
+	stats Stats
+}
+
+// NewInjector validates the spec against the device geometry and binds it to
+// the engine. Start must be called to arm the clauses.
+func NewInjector(spec Spec, dev *dram.Device, eng *sim.Engine) (*Injector, error) {
+	g := dev.Geometry()
+	for _, c := range spec.Clauses {
+		if c.Rank.Channel < 0 || c.Rank.Channel >= g.Channels ||
+			c.Rank.Rank < 0 || c.Rank.Rank >= g.RanksPerChannel {
+			return nil, fmt.Errorf("fault: clause %s targets rank %v outside %v", c.Kind, c.Rank, g)
+		}
+	}
+	return &Injector{spec: spec, dev: dev, eng: eng, codec: dev.Codec()}, nil
+}
+
+// Start schedules every clause on the engine; processes stop at horizon.
+// Each clause draws from its own seeded stream, so adding or reordering
+// clauses does not perturb the arrival times of the others.
+func (in *Injector) Start(horizon sim.Time) {
+	for i, c := range in.spec.Clauses {
+		rng := rand.New(rand.NewSource(in.spec.Seed*1_000_003 + int64(i)))
+		end := horizon
+		if c.Dur > 0 && c.At+c.Dur < end {
+			end = c.At + c.Dur
+		}
+		switch c.Kind {
+		case CE, Storm:
+			in.schedulePoisson(c, rng, end)
+		case UE:
+			c := c
+			in.eng.At(c.At, func(now sim.Time) {
+				dsn := in.randSegment(c.Rank, rng)
+				if err := in.dev.RaiseUncorrectable(dsn, now); err != nil {
+					panic(err) // validated geometry: unreachable
+				}
+				in.stats.UncorrectableEvents++
+			})
+		case Wake:
+			c := c
+			in.eng.At(c.At, func(sim.Time) {
+				in.dev.SetWakeFault(c.Rank, c.Extra)
+				in.stats.WakeFaultsArmed++
+			})
+			if end < horizon {
+				in.eng.At(end, func(sim.Time) {
+					in.dev.SetWakeFault(c.Rank, 0)
+				})
+			}
+		case Kill:
+			c := c
+			in.eng.At(c.At, func(now sim.Time) {
+				in.dev.FailRank(c.Rank, now)
+				in.stats.RankKills++
+			})
+		}
+	}
+}
+
+// schedulePoisson arms a correctable-error arrival process over [c.At, end):
+// exponential interarrivals at c.Rate events/s, each event raising c.Count
+// errors on a uniformly random segment of the rank.
+func (in *Injector) schedulePoisson(c Clause, rng *rand.Rand, end sim.Time) {
+	var arm func(at sim.Time)
+	arm = func(at sim.Time) {
+		next := at + sim.Time(rng.ExpFloat64()/c.Rate*float64(sim.Second))
+		if next >= end {
+			return
+		}
+		in.eng.At(next, func(now sim.Time) {
+			dsn := in.randSegment(c.Rank, rng)
+			if err := in.dev.RaiseCorrectable(dsn, c.Count, now); err != nil {
+				panic(err) // validated geometry: unreachable
+			}
+			in.stats.CorrectableEvents++
+			in.stats.CorrectableErrors += int64(c.Count)
+			arm(now)
+		})
+	}
+	arm(c.At)
+}
+
+// randSegment picks a uniformly random segment slot on the rank.
+func (in *Injector) randSegment(id dram.RankID, rng *rand.Rand) dram.DSN {
+	idx := rng.Int63n(in.dev.Geometry().SegmentsPerRank())
+	return in.codec.EncodeDSN(dram.Loc{Rank: id.Rank, Channel: id.Channel, Index: idx})
+}
+
+// Stats reports delivered fault counts.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Spec returns the parsed spec the injector runs.
+func (in *Injector) Spec() Spec { return in.spec }

@@ -68,11 +68,12 @@ type Controller struct {
 	window   []RankStats // per global rank, since last ResetWindow
 	lifetime []RankStats // per global rank, total
 	busyNs   []sim.Time  // per channel: accumulated bus occupancy
-	// wakeCount and refreshStalls are telemetry counters owned by the
-	// controller; RegisterMetrics attaches them (and derived gauges) to a
-	// registry so they appear in sampled time series.
+	// wakeCount, refreshStalls and degradedCount are telemetry counters
+	// owned by the controller; RegisterMetrics attaches them (and derived
+	// gauges) to a registry so they appear in sampled time series.
 	wakeCount     telemetry.Counter
 	refreshStalls telemetry.Counter
+	degradedCount telemetry.Counter
 
 	// refreshEnabled blocks each standby rank for TRFC every TREFI, with
 	// per-rank phase staggering (all-bank refresh). Self-refresh and MPSM
@@ -165,6 +166,12 @@ func (c *Controller) Access(req Request) Result {
 		accessLat = c.tim.TRP + c.tim.TRCD + c.tim.TCL
 		c.openRow[gr][bank] = row
 	}
+	// A failed rank still serves data but in degraded mode: every access
+	// pays the repair/retry penalty until the DTL evacuates the rank.
+	if c.dev.FailedGlobal(gr) {
+		accessLat += c.tim.DegradedAccess
+		c.degradedCount.Inc()
+	}
 
 	done := start + accessLat + c.tim.TBL
 
@@ -216,6 +223,7 @@ func (c *Controller) RefreshStalls() int64 { return c.refreshStalls.Value() }
 func (c *Controller) RegisterMetrics(reg *telemetry.Registry) {
 	reg.RegisterCounter("memctrl.wakeups", &c.wakeCount)
 	reg.RegisterCounter("memctrl.refresh_stalls", &c.refreshStalls)
+	reg.RegisterCounter("memctrl.degraded_accesses", &c.degradedCount)
 	for ch := range c.busFree {
 		ch := ch
 		reg.GaugeFunc(fmt.Sprintf("memctrl.ch%d.busy_ns", ch), func() float64 {
@@ -288,6 +296,10 @@ func (c *Controller) TotalBytes() int64 {
 
 // Wakeups reports how many accesses found their rank in self-refresh.
 func (c *Controller) Wakeups() int64 { return c.wakeCount.Value() }
+
+// DegradedAccesses reports how many accesses hit a failed rank and paid the
+// degraded-mode penalty.
+func (c *Controller) DegradedAccesses() int64 { return c.degradedCount.Value() }
 
 // ChannelBusyUntil reports when the channel bus frees up; migration traffic
 // may issue at or after this time.

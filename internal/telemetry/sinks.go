@@ -117,6 +117,12 @@ func pointArgs(ev Event) map[string]any {
 	if ev.Kind == EvScrub {
 		args["segments"] = ev.Src
 	}
+	if ev.Kind == EvFault || ev.Kind == EvStorm {
+		args["count"] = ev.Src
+	}
+	if ev.Reason != "" {
+		args["reason"] = ev.Reason
+	}
 	if len(args) == 0 {
 		return nil
 	}
@@ -161,6 +167,12 @@ func WriteJSONL(w io.Writer, t *Tracer) error {
 		}
 		if ev.Kind == EvScrub {
 			rec["segments"] = ev.Src
+		}
+		if ev.Kind == EvFault || ev.Kind == EvStorm {
+			rec["count"] = ev.Src
+		}
+		if ev.Kind != EvMigration && ev.Reason != "" {
+			rec["reason"] = ev.Reason
 		}
 		if err := enc.Encode(rec); err != nil {
 			return err

@@ -25,6 +25,14 @@ const (
 	EvWriteConflict
 	// EvRetire is a rank permanently taken offline.
 	EvRetire
+	// EvFault is a device fault report (ECC error, wake fault, rank failure);
+	// Reason carries the fault kind, Src the error count.
+	EvFault
+	// EvStorm is the health monitor's leaky bucket tripping on a rank.
+	EvStorm
+	// EvRetireDeferred is an auto-retirement postponed for lack of spare
+	// capacity; Dur is the backoff until the next attempt.
+	EvRetireDeferred
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +50,12 @@ func (k EventKind) String() string {
 		return "write_conflict"
 	case EvRetire:
 		return "retire"
+	case EvFault:
+		return "fault"
+	case EvStorm:
+		return "ecc_storm"
+	case EvRetireDeferred:
+		return "retire_deferred"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -228,12 +242,39 @@ func (t *Tracer) WriteConflict(ch int, at sim.Time) {
 	t.emit(Event{Kind: EvWriteConflict, At: at, Rank: -1, Channel: ch})
 }
 
-// Retire records a rank being permanently taken offline.
-func (t *Tracer) Retire(rank int, at sim.Time) {
+// Retire records a rank being permanently taken offline, tagged with the
+// retirement cause ("manual", "ecc-storm", "rank-failure", ...).
+func (t *Tracer) Retire(rank int, cause string, at sim.Time) {
 	if t == nil {
 		return
 	}
-	t.emit(Event{Kind: EvRetire, At: at, Rank: rank, Channel: -1})
+	t.emit(Event{Kind: EvRetire, At: at, Rank: rank, Channel: -1, Reason: cause})
+}
+
+// Fault records a device fault report. kind names the fault class and count
+// is the number of errors folded into the report.
+func (t *Tracer) Fault(rank int, kind string, count int64, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: EvFault, At: at, Rank: rank, Channel: -1, Src: count, Reason: kind})
+}
+
+// Storm records the health monitor's storm detector tripping on a rank.
+func (t *Tracer) Storm(rank int, level int64, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: EvStorm, At: at, Rank: rank, Channel: -1, Src: level})
+}
+
+// RetireDeferred records an auto-retirement postponed because draining the
+// rank would not fit in the surviving capacity; backoff is the retry delay.
+func (t *Tracer) RetireDeferred(rank int, cause string, backoff, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: EvRetireDeferred, At: at, Dur: backoff, Rank: rank, Channel: -1, Reason: cause})
 }
 
 // Finish closes every open power span at horizon. Call it once, after the

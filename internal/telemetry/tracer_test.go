@@ -23,7 +23,10 @@ func TestNilTracerEmitsAreNoOps(t *testing.T) {
 	tr.Wake(0, 1, 2)
 	tr.Scrub(1, 3)
 	tr.WriteConflict(0, 1)
-	tr.Retire(0, 1)
+	tr.Retire(0, "manual", 1)
+	tr.Fault(0, "correctable", 3, 1)
+	tr.Storm(0, 64, 1)
+	tr.RetireDeferred(0, "ecc-storm", 10, 1)
 	tr.Finish(100)
 	if tr.Finished() || tr.Total() != 0 || tr.Dropped() != 0 {
 		t.Fatal("nil tracer should report nothing")
