@@ -6,9 +6,11 @@
 //	dtlsim -list
 //	dtlsim -exp fig12            # one experiment, full scale
 //	dtlsim -exp all -quick       # everything, reduced scale
+//	dtlsim -exp all -quick -parallel 4
 //	dtlsim -exp fig14 -seed 7
 //	dtlsim -exp fig12 -quick -trace t.json -metrics m.csv -sample 1ms
 //	dtlsim -exp faults -quick -faults 'storm:ch1/rk2:at=90m;kill:ch3/rk1:at=3h'
+//	dtlsim -exp fig14 -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -trace writes a Chrome trace_event JSON of the run (open in Perfetto or
 // chrome://tracing); -metrics samples every registry metric into a CSV time
@@ -16,6 +18,12 @@
 // matched to the experiment's horizon). Summarize a trace with cmd/dtlstat.
 // -faults injects a deterministic fault process (internal/fault grammar) into
 // the schedule-driven experiments, exercising the self-healing loop.
+//
+// -parallel N runs the selected experiments across N workers; reports print
+// in the same order and with the same bytes as a serial run (when several
+// experiments run in parallel the shared -trace/-metrics files are disabled,
+// since they would interleave). -cpuprofile/-memprofile write pprof profiles
+// of the run for `go tool pprof`.
 package main
 
 import (
@@ -24,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,6 +54,10 @@ func main() {
 		metrics = flag.String("metrics", "", "write sampled registry metrics as CSV")
 		sample  = flag.String("sample", "0", "virtual-time metrics sampling period (e.g. 1ms; 0 = per-experiment default)")
 		faults  = flag.String("faults", "", "fault-injection spec for the schedule experiments (fig12/fig13/faults), e.g. 'seed=7;storm:ch1/rk2:at=90m;kill:ch3/rk1:at=3h'")
+
+		parallel   = flag.Int("parallel", 1, "run experiments across N workers (reports stay in serial order)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit")
 	)
 	flag.Parse()
 
@@ -75,6 +89,21 @@ func main() {
 		TracePath: *trace, MetricsPath: *metrics,
 		SamplePeriod: sim.Time(samplePeriod.Nanoseconds()),
 		FaultSpec:    *faults,
+		Parallel:     *parallel,
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtlsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dtlsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	ids := strings.Split(*exp, ",")
@@ -84,15 +113,31 @@ func main() {
 			ids = append(ids, r.ID)
 		}
 	}
-	var results []experiments.Result
+	var runners []experiments.Runner
 	for _, id := range ids {
 		r, ok := experiments.ByID(strings.TrimSpace(id))
 		if !ok {
 			fmt.Fprintf(os.Stderr, "dtlsim: unknown experiment %q (use -list)\n", id)
 			os.Exit(2)
 		}
-		results = append(results, r.Run(opts))
+		runners = append(runners, r)
 	}
+	results := experiments.RunAll(runners, opts, *parallel)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtlsim:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dtlsim:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -72,33 +72,41 @@ func (d *DTL) AllocateVM(vm VMID, host HostID, bytes int64, now sim.Time) (Alloc
 		}
 		reactivated++
 	}
-	if len(d.auFree[host]) < int(aus) {
+	if d.auFree[host].len() < int(aus) {
 		return Allocation{}, fmt.Errorf("core: host %d out of AU ids", host)
 	}
 
-	st := &vmState{host: host}
-	alloc := Allocation{VM: vm, Host: host, Bytes: aus * d.cfg.AUBytes, Reactivated: reactivated}
-	perChannel := d.cfg.SegmentsPerAU() / int64(d.cfg.Geometry.Channels)
+	segsPerAU := d.cfg.SegmentsPerAU()
+	st := &vmState{
+		host: host,
+		aus:  make([]int64, 0, aus),
+		hsns: make([]dram.HSN, 0, aus*segsPerAU),
+	}
+	alloc := Allocation{
+		VM: vm, Host: host, Bytes: aus * d.cfg.AUBytes, Reactivated: reactivated,
+		AUBases: make([]dram.HPA, 0, aus),
+	}
+	perChannel := segsPerAU / int64(d.cfg.Geometry.Channels)
 
 	channels := d.cfg.Geometry.Channels
 	for i := int64(0); i < aus; i++ {
-		auID := d.auFree[host][0]
-		d.auFree[host] = d.auFree[host][1:]
+		auID := d.auFree[host].popFront()
 		st.aus = append(st.aus, auID)
 		alloc.AUBases = append(alloc.AUBases, d.auBase(host, auID))
 
 		// Each channel contributes an equal number of segments; consecutive
 		// host segments rotate across channels so every VM sees full
-		// channel-level parallelism (§3.3, Fig. 6).
-		perCh := make([][]dram.DSN, channels)
+		// channel-level parallelism (§3.3, Fig. 6). The staging buffers are
+		// scratch owned by the DTL, reused across AUs and calls.
+		perCh := d.allocScratch
 		for ch := 0; ch < channels; ch++ {
-			perCh[ch] = d.takeSegments(ch, perChannel)
+			perCh[ch] = d.takeSegments(ch, perCh[ch][:0], perChannel)
 		}
-		for off := int64(0); off < d.cfg.SegmentsPerAU(); off++ {
+		for off := int64(0); off < segsPerAU; off++ {
 			ch := int(off % int64(channels))
 			dsn := perCh[ch][off/int64(channels)]
 			hsn := d.hsnOf(host, auID, off)
-			d.segMap[hsn] = dsn
+			d.segMap.set(hsn, dsn)
 			d.revMap[dsn] = hsn
 			st.hsns = append(st.hsns, hsn)
 		}
@@ -122,13 +130,13 @@ func (d *DTL) auBase(host HostID, au int64) dram.HPA {
 // ranks.
 func (d *DTL) activeFreeSegments() int64 {
 	var n int64
-	for gr, q := range d.free {
+	for gr := range d.free {
 		if d.dev.FailedGlobal(gr) {
 			continue
 		}
 		ch, rk := d.codec.SplitGlobalRank(gr)
 		if d.dev.State(dram.RankID{Channel: ch, Rank: rk}) != dram.MPSM {
-			n += int64(len(q))
+			n += int64(d.free[gr].len())
 		}
 	}
 	return n
@@ -144,33 +152,32 @@ func (d *DTL) activeFreeSegmentsOn(ch int) int64 {
 			continue
 		}
 		if d.dev.State(dram.RankID{Channel: ch, Rank: rk}) != dram.MPSM {
-			n += int64(len(d.free[gr]))
+			n += int64(d.free[gr].len())
 		}
 	}
 	return n
 }
 
-// takeSegments pops n free segments from channel ch, preferring the
+// takeSegments pops n free segments from channel ch into out, preferring the
 // most-utilized active rank with free space ("for the rank with the highest
 // capacity utilization in each channel, its free segment queue has the
 // highest priority", §4.3). Standby ranks are preferred over self-refresh
 // ranks so allocation does not needlessly wake cold ranks.
-func (d *DTL) takeSegments(ch int, n int64) []dram.DSN {
-	out := make([]dram.DSN, 0, n)
-	for int64(len(out)) < n {
+func (d *DTL) takeSegments(ch int, out []dram.DSN, n int64) []dram.DSN {
+	taken := int64(0)
+	for taken < n {
 		gr := d.pickAllocRank(ch)
 		if gr < 0 {
 			panic(fmt.Sprintf("core: channel %d out of free segments with %d still needed (caller must check capacity)",
-				ch, n-int64(len(out))))
+				ch, n-taken))
 		}
-		q := d.free[gr]
-		take := n - int64(len(out))
-		if take > int64(len(q)) {
-			take = int64(len(q))
+		take := n - taken
+		if avail := int64(d.free[gr].len()); take > avail {
+			take = avail
 		}
-		out = append(out, q[:take]...)
-		d.free[gr] = q[take:]
+		out = d.free[gr].popFrontN(out, int(take))
 		d.allocated[gr] += take
+		taken += take
 	}
 	return out
 }
@@ -183,7 +190,7 @@ func (d *DTL) pickAllocRank(ch int) int {
 	var bestKey [2]int64 // {standby preference, allocated count}
 	for rk := 0; rk < d.cfg.Geometry.RanksPerChannel; rk++ {
 		gr := d.codec.GlobalRank(ch, rk)
-		if len(d.free[gr]) == 0 || d.dev.FailedGlobal(gr) {
+		if d.free[gr].len() == 0 || d.dev.FailedGlobal(gr) {
 			continue
 		}
 		state := d.dev.State(dram.RankID{Channel: ch, Rank: rk})
@@ -228,20 +235,20 @@ func (d *DTL) DeallocateVM(vm VMID, now sim.Time) error {
 	d.mig.completeUpTo(now)
 
 	for _, hsn := range st.hsns {
-		dsn, ok := d.segMap[hsn]
+		dsn, ok := d.segMap.get(hsn)
 		if !ok {
 			return fmt.Errorf("core: vm %d hsn %d missing from segment mapping table", vm, hsn)
 		}
-		delete(d.segMap, hsn)
+		d.segMap.del(hsn)
 		d.revMap[dsn] = dsnFree
 		d.smc.invalidate(hsn)
 		l := d.codec.DecodeDSN(dsn)
 		gr := d.codec.GlobalRank(l.Channel, l.Rank)
-		d.free[gr] = append(d.free[gr], dsn)
+		d.free[gr].push(dsn)
 		d.allocated[gr]--
 		d.hot.onSegmentFreed(dsn)
 	}
-	d.auFree[st.host] = append(d.auFree[st.host], st.aus...)
+	d.auFree[st.host].pushAll(st.aus)
 	delete(d.vms, vm)
 
 	d.maybePowerDown(now)
@@ -255,7 +262,7 @@ func (d *DTL) LiveVMs() int { return len(d.vms) }
 
 // AllocatedBytes reports the total bytes currently reserved by VMs.
 func (d *DTL) AllocatedBytes() int64 {
-	return int64(len(d.segMap)) * d.cfg.Geometry.SegmentBytes
+	return int64(d.segMap.len()) * d.cfg.Geometry.SegmentBytes
 }
 
 // VMAddresses returns the AU base addresses of a live VM, for driving

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+func benchDTL(b *testing.B) *DTL {
+	b.Helper()
+	d, err := New(testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkSMCHit measures the translation fast path: an access whose HSN is
+// resident in the L1 segment mapping cache. This is the per-access cost the
+// paper's Figure 10 latency overhead rides on, so it must stay allocation
+// free.
+func BenchmarkSMCHit(b *testing.B) {
+	d := benchDTL(b)
+	a, err := d.AllocateVM(1, 0, 16*dram.MiB, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := a.AUBases[0]
+	now := sim.Time(0)
+	if _, err := d.Access(base, false, now); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 10
+		if _, err := d.Access(base, false, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSMCMissWalk measures the full miss path: both SMC levels miss and
+// the access walks the DRAM-resident segment mapping table (two SRAM hops
+// plus the dense-table load), then refills both cache levels.
+func BenchmarkSMCMissWalk(b *testing.B) {
+	d := benchDTL(b)
+	a, err := d.AllocateVM(1, 0, 16*dram.MiB, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := a.AUBases[0]
+	hsn := d.codec.HostSegmentOf(base)
+	now := sim.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.smc.invalidate(hsn)
+		now += 10
+		if _, err := d.Access(base, false, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwapMigration measures one hotness-engine transposition between
+// two live segments: mapping-table updates, SMC invalidations, and the
+// migration window enqueue/complete cycle (which must recycle its windows
+// through the migrator's pool rather than allocate).
+func BenchmarkSwapMigration(b *testing.B) {
+	d := benchDTL(b)
+	if _, err := d.AllocateVM(1, 0, 64*dram.MiB, 0); err != nil {
+		b.Fatal(err)
+	}
+	// Two live segments on channel 0.
+	var s1, s2 dram.DSN
+	found := 0
+	for dsn, hsn := range d.revMap {
+		if hsn == dsnFree {
+			continue
+		}
+		if l := d.codec.DecodeDSN(dram.DSN(dsn)); l.Channel != 0 {
+			continue
+		}
+		if found == 0 {
+			s1 = dram.DSN(dsn)
+		} else {
+			s2 = dram.DSN(dsn)
+			break
+		}
+		found++
+	}
+	if s1 == s2 {
+		b.Fatal("could not find two live segments on channel 0")
+	}
+	now := sim.Time(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.hot.applySwap(s1, s2, now)
+		now = d.mig.busyUntil[0] + 1
+		d.mig.completeUpTo(now)
+	}
+}

@@ -33,16 +33,20 @@ type DTL struct {
 	smc   *smc
 
 	// segMap is the DRAM-resident segment mapping table: HSN → DSN for
-	// every allocated host segment (Fig. 4). Sparse map keyed by HSN.
-	segMap map[dram.HSN]dram.DSN
+	// every allocated host segment (Fig. 4). Dense paged table mirroring
+	// revMap's layout; the paper's table is itself a dense DRAM array
+	// (Table 5 sizes it at full capacity), so this is both the faithful
+	// and the fast representation.
+	segMap *segTable
 	// revMap is the reverse mapping table: DSN → HSN (dsnFree when the
 	// physical segment is unallocated), used to update segMap after
 	// migration (§4.2).
 	revMap []dram.HSN
 
-	// free holds the free segment queues, one per global rank (§4.2);
-	// allocated counts track per-rank utilization for victim selection.
-	free      [][]dram.DSN
+	// free holds the free segment queues, one per global rank (§4.2),
+	// pre-sized to a full rank; allocated counts track per-rank
+	// utilization for victim selection.
+	free      []fifo[dram.DSN]
 	allocated []int64 // live segments per global rank
 
 	// vms tracks each VM's allocation so deallocation can return exactly
@@ -50,7 +54,12 @@ type DTL struct {
 	vms map[VMID]*vmState
 	// auFree is the pool of unassigned allocation-unit slots per host
 	// (the free AU queue of Table 5).
-	auFree [][]int64
+	auFree []fifo[int64]
+
+	// allocScratch holds the per-channel segment staging buffers AllocateVM
+	// fills from the free queues, reused across calls so the allocation
+	// fast path stays off the heap.
+	allocScratch [][]dram.DSN
 
 	// poweredDown is the stack of virtual rank groups currently in MPSM,
 	// most recent last (§4.3 "Virtualizing Rank Group").
@@ -142,19 +151,23 @@ func NewWithDevice(cfg Config, dev *dram.Device) (*DTL, error) {
 		return nil, err
 	}
 	g := cfg.Geometry
+	// The HSN space spans every (host, AU, offset) triple the device can
+	// name: MaxHosts × TotalAUs × SegmentsPerAU entries.
+	maxHSN := int64(cfg.MaxHosts) * cfg.TotalAUs() * cfg.SegmentsPerAU()
 	d := &DTL{
-		cfg:       cfg,
-		dev:       dev,
-		ctrl:      memctrl.New(dev),
-		codec:     dev.Codec(),
-		smc:       newSMC(cfg.L1SMCEntries, cfg.L2SMCEntries, cfg.L2SMCWays),
-		segMap:    make(map[dram.HSN]dram.DSN),
-		revMap:    make([]dram.HSN, g.TotalSegments()),
-		free:      make([][]dram.DSN, g.TotalRanks()),
-		allocated: make([]int64, g.TotalRanks()),
-		vms:       make(map[VMID]*vmState),
-		auFree:    make([][]int64, cfg.MaxHosts),
-		reg:       telemetry.NewRegistry(),
+		cfg:          cfg,
+		dev:          dev,
+		ctrl:         memctrl.New(dev),
+		codec:        dev.Codec(),
+		smc:          newSMC(cfg.L1SMCEntries, cfg.L2SMCEntries, cfg.L2SMCWays),
+		segMap:       newSegTable(maxHSN),
+		revMap:       make([]dram.HSN, g.TotalSegments()),
+		free:         make([]fifo[dram.DSN], g.TotalRanks()),
+		allocated:    make([]int64, g.TotalRanks()),
+		vms:          make(map[VMID]*vmState),
+		auFree:       make([]fifo[int64], cfg.MaxHosts),
+		allocScratch: make([][]dram.DSN, g.Channels),
+		reg:          telemetry.NewRegistry(),
 	}
 	d.st = newStatCounters(d.reg)
 	d.ctrl.RegisterMetrics(d.reg)
@@ -162,19 +175,26 @@ func NewWithDevice(cfg Config, dev *dram.Device) (*DTL, error) {
 		d.revMap[i] = dsnFree
 	}
 	// Populate free segment queues: every physical segment starts free.
+	// Each queue is pre-sized to a full rank, its maximum occupancy.
+	for gr := range d.free {
+		d.free[gr] = newFIFO[dram.DSN](g.SegmentsPerRank())
+	}
 	for s := dram.DSN(0); int64(s) < g.TotalSegments(); s++ {
 		l := d.codec.DecodeDSN(s)
 		gr := d.codec.GlobalRank(l.Channel, l.Rank)
-		d.free[gr] = append(d.free[gr], s)
+		d.free[gr].push(s)
 	}
 	// Each host gets its own AU id space.
 	ausPerHost := cfg.TotalAUs()
 	for h := range d.auFree {
-		ids := make([]int64, ausPerHost)
-		for i := range ids {
-			ids[i] = int64(i)
+		d.auFree[h] = newFIFO[int64](ausPerHost)
+		for i := int64(0); i < ausPerHost; i++ {
+			d.auFree[h].push(i)
 		}
-		d.auFree[h] = ids
+	}
+	perChannel := cfg.SegmentsPerAU() / int64(g.Channels)
+	for ch := range d.allocScratch {
+		d.allocScratch[ch] = make([]dram.DSN, 0, perChannel)
 	}
 	d.hot = newHotness(d)
 	d.mig = newMigrator(d)
@@ -388,7 +408,7 @@ func (d *DTL) Access(hpa dram.HPA, write bool, now sim.Time) (AccessResult, erro
 	default:
 		// Miss path: host base address table + AU base address table in
 		// SRAM, then the segment mapping table in DRAM (Fig. 4).
-		mapped, ok := d.segMap[hsn]
+		mapped, ok := d.segMap.get(hsn)
 		if !ok {
 			return AccessResult{}, fmt.Errorf("core: access to unallocated hsn %d (hpa %#x)", hsn, int64(hpa))
 		}
@@ -401,7 +421,7 @@ func (d *DTL) Access(hpa dram.HPA, write bool, now sim.Time) (AccessResult, erro
 
 	// Consistency: a cached translation must agree with the table.
 	if lvl != 0 {
-		if mapped, ok := d.segMap[hsn]; !ok || mapped != dsn {
+		if mapped, ok := d.segMap.get(hsn); !ok || mapped != dsn {
 			return AccessResult{}, fmt.Errorf("core: stale SMC entry hsn %d -> dsn %d (table: %v)", hsn, dsn, mapped)
 		}
 	}
@@ -451,13 +471,21 @@ func (d *DTL) Tick(now sim.Time) {
 func (d *DTL) CheckInvariants() error {
 	g := d.cfg.Geometry
 	// segMap and revMap must be mutually inverse.
-	for hsn, dsn := range d.segMap {
+	var mapErr error
+	d.segMap.forEach(func(hsn dram.HSN, dsn dram.DSN) {
+		if mapErr != nil {
+			return
+		}
 		if int64(dsn) < 0 || int64(dsn) >= g.TotalSegments() {
-			return fmt.Errorf("invariant: hsn %d maps to out-of-range dsn %d", hsn, dsn)
+			mapErr = fmt.Errorf("invariant: hsn %d maps to out-of-range dsn %d", hsn, dsn)
+			return
 		}
 		if d.revMap[dsn] != hsn {
-			return fmt.Errorf("invariant: revMap[%d] = %d, want %d", dsn, d.revMap[dsn], hsn)
+			mapErr = fmt.Errorf("invariant: revMap[%d] = %d, want %d", dsn, d.revMap[dsn], hsn)
 		}
+	})
+	if mapErr != nil {
+		return mapErr
 	}
 	mapped := 0
 	for dsn, hsn := range d.revMap {
@@ -465,16 +493,17 @@ func (d *DTL) CheckInvariants() error {
 			continue
 		}
 		mapped++
-		if got, ok := d.segMap[hsn]; !ok || got != dram.DSN(dsn) {
+		if got, ok := d.segMap.get(hsn); !ok || got != dram.DSN(dsn) {
 			return fmt.Errorf("invariant: segMap[%d] = %v, want dsn %d", hsn, got, dsn)
 		}
 	}
-	if mapped != len(d.segMap) {
-		return fmt.Errorf("invariant: revMap has %d live entries, segMap has %d", mapped, len(d.segMap))
+	if mapped != d.segMap.len() {
+		return fmt.Errorf("invariant: revMap has %d live entries, segMap has %d", mapped, d.segMap.len())
 	}
 	// Free queues: disjoint from live mappings, counts consistent.
 	seen := make(map[dram.DSN]bool, len(d.revMap))
-	for gr, q := range d.free {
+	for gr := range d.free {
+		q := d.free[gr].items()
 		for _, dsn := range q {
 			if seen[dsn] {
 				return fmt.Errorf("invariant: dsn %d in multiple free queues", dsn)

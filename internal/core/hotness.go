@@ -357,30 +357,31 @@ func (h *hotness) applySwap(a, b dram.DSN, now sim.Time) {
 
 	switch {
 	case ha != dsnFree && hb != dsnFree:
-		d.segMap[ha], d.segMap[hb] = b, a
+		d.segMap.set(ha, b)
+		d.segMap.set(hb, a)
 		d.revMap[a], d.revMap[b] = hb, ha
 		d.smc.invalidate(ha)
 		d.smc.invalidate(hb)
 		d.mig.enqueueSwap(a, b, now, "hotness-swap")
 		d.st.bytesMigrated.Add(2 * d.cfg.Geometry.SegmentBytes)
 	case ha != dsnFree: // move a -> b; slot a becomes free
-		d.segMap[ha] = b
+		d.segMap.set(ha, b)
 		d.revMap[b] = ha
 		d.revMap[a] = dsnFree
 		d.smc.invalidate(ha)
 		removeFromFreeQueue(d, grb, b)
-		d.free[gra] = append(d.free[gra], a)
+		d.free[gra].push(a)
 		d.allocated[grb]++
 		d.allocated[gra]--
 		d.mig.enqueueCopy(a, b, now, "hotness-move")
 		d.st.bytesMigrated.Add(d.cfg.Geometry.SegmentBytes)
 	default: // hb live: move b -> a; slot b becomes free
-		d.segMap[hb] = a
+		d.segMap.set(hb, a)
 		d.revMap[a] = hb
 		d.revMap[b] = dsnFree
 		d.smc.invalidate(hb)
 		removeFromFreeQueue(d, gra, a)
-		d.free[grb] = append(d.free[grb], b)
+		d.free[grb].push(b)
 		d.allocated[gra]++
 		d.allocated[grb]--
 		d.mig.enqueueCopy(b, a, now, "hotness-move")
@@ -389,14 +390,9 @@ func (h *hotness) applySwap(a, b dram.DSN, now sim.Time) {
 }
 
 func removeFromFreeQueue(d *DTL, gr int, dsn dram.DSN) {
-	q := d.free[gr]
-	for i, s := range q {
-		if s == dsn {
-			d.free[gr] = append(q[:i], q[i+1:]...)
-			return
-		}
+	if !d.free[gr].remove(dsn) {
+		panic(fmt.Sprintf("core: dsn %d not found in free queue of rank %d", dsn, gr))
 	}
-	panic(fmt.Sprintf("core: dsn %d not found in free queue of rank %d", dsn, gr))
 }
 
 // resetChannelPlan restores identity plans and clears access bits for every

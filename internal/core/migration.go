@@ -66,6 +66,10 @@ type migrator struct {
 	busyNs    []sim.Time // accumulated migration bus time per channel
 	stats     MigStats
 	latency   *telemetry.Timer // scheduled copy duration, registry-backed
+	// pool recycles completed windows: drains and swap storms enqueue
+	// thousands of copies, and completeUpTo retires them in batches, so the
+	// register-set structs cycle instead of churning the heap.
+	pool []*inflight
 }
 
 func newMigrator(d *DTL) *migrator {
@@ -90,7 +94,15 @@ func (m *migrator) enqueueCopy(src, dst dram.DSN, now sim.Time, reason string) {
 	if m.busyUntil[ch] > start {
 		start = m.busyUntil[ch]
 	}
-	w := &inflight{src: src, dst: dst, start: start, end: start + dur, dur: dur}
+	var w *inflight
+	if n := len(m.pool); n > 0 {
+		w = m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+	} else {
+		w = new(inflight)
+	}
+	*w = inflight{src: src, dst: dst, start: start, end: start + dur, dur: dur}
 	m.windows[ch] = append(m.windows[ch], w)
 	m.busyUntil[ch] = w.end
 	m.busyNs[ch] += dur
@@ -132,6 +144,9 @@ func (m *migrator) completeUpTo(now sim.Time) {
 			} else {
 				m.stats.Verified++
 			}
+			// The reroute data above is copied by value, so the window can
+			// be recycled before the re-route pass runs.
+			m.pool = append(m.pool, w)
 		}
 		m.windows[ch] = keep
 		// Re-routes are applied after the compaction above: moveSegment

@@ -89,7 +89,7 @@ func TestRoutedToNewAfterCopyCompletes(t *testing.T) {
 	// completion-bit span: the copy is done but the mapping update has not
 	// retired, so the write must be routed to the new DSN (§4.2).
 	hsn := d.codec.HostSegmentOf(hpa)
-	dst := d.segMap[hsn]
+	dst, _ := d.segMap.get(hsn)
 	mm := (*migrator)(d.Migrator())
 	var w *inflight
 	for _, ws := range mm.windows {

@@ -137,7 +137,7 @@ func (d *DTL) takeDrainTargetOn(ch, exclude int) (dram.DSN, bool) {
 			continue
 		}
 		gr := d.codec.GlobalRank(ch, rk)
-		if len(d.free[gr]) == 0 || d.dev.FailedGlobal(gr) {
+		if d.free[gr].len() == 0 || d.dev.FailedGlobal(gr) {
 			continue
 		}
 		if d.allocated[gr] > bestAlloc {
@@ -147,8 +147,7 @@ func (d *DTL) takeDrainTargetOn(ch, exclude int) (dram.DSN, bool) {
 	if best < 0 {
 		return 0, false
 	}
-	dsn := d.free[best][0]
-	d.free[best] = d.free[best][1:]
+	dsn := d.free[best].popFront()
 	d.allocated[best]++
 	return dsn, true
 }
@@ -164,14 +163,14 @@ func (d *DTL) moveSegment(src, dst dram.DSN, now sim.Time, reason string) {
 	if d.revMap[dst] != dsnFree {
 		panic("core: moveSegment into live destination")
 	}
-	d.segMap[hsn] = dst
+	d.segMap.set(hsn, dst)
 	d.revMap[dst] = hsn
 	d.revMap[src] = dsnFree
 	d.smc.invalidate(hsn)
 
 	srcLoc := d.codec.DecodeDSN(src)
 	srcGR := d.codec.GlobalRank(srcLoc.Channel, srcLoc.Rank)
-	d.free[srcGR] = append(d.free[srcGR], src)
+	d.free[srcGR].push(src)
 	d.allocated[srcGR]--
 
 	d.hot.onSegmentMoved(src, dst)

@@ -148,8 +148,8 @@ func TestPropertySegmentConservation(t *testing.T) {
 			for _, n := range d.allocated {
 				sum += n
 			}
-			if sum != int64(len(d.segMap)) {
-				t.Logf("allocated sum %d != mapped %d", sum, len(d.segMap))
+			if sum != int64(d.segMap.len()) {
+				t.Logf("allocated sum %d != mapped %d", sum, d.segMap.len())
 				return false
 			}
 		}

@@ -90,7 +90,7 @@ func (d *DTL) retireRank(id dram.RankID, now sim.Time, cause string) error {
 
 	// Remove the rank's free capacity from the allocator and power it off
 	// for good.
-	d.free[gr] = nil
+	d.free[gr].reset()
 	d.retired[gr] = true
 	d.dev.SetState(id, dram.MPSM, now)
 	d.hot.onRankPoweredDown(id, now)
@@ -119,7 +119,7 @@ func (d *DTL) drainCapacityOn(ch, exclude int) int64 {
 		if d.dev.State(dram.RankID{Channel: ch, Rank: rk}) == dram.MPSM {
 			continue
 		}
-		free += int64(len(d.free[gr]))
+		free += int64(d.free[gr].len())
 	}
 	return free
 }

@@ -131,7 +131,7 @@ func TestMigrationVerifyFailureReroutes(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 verify failure re-routed", st)
 	}
 	// The re-routed copy's destination is healthy.
-	newDSN := d.segMap[d.revMap[dst]]
+	newDSN, _ := d.segMap.get(d.revMap[dst])
 	if newDSN == dst {
 		t.Fatal("segment still mapped to the failed rank")
 	}
@@ -175,7 +175,7 @@ func TestMigrationVerifyGivesUpAtRetryLimit(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 verify give-up", st)
 	}
 	// The data stays where it is — readable in degraded mode.
-	if d.segMap[d.revMap[dst]] != dst {
+	if got, _ := d.segMap.get(d.revMap[dst]); got != dst {
 		t.Fatal("give-up still moved the segment")
 	}
 	if err := d.CheckInvariants(); err != nil {

@@ -78,7 +78,7 @@ func (s *Scrubber) Run(now sim.Time, budget int) (int, error) {
 		// Metadata integrity: the reverse mapping and the segment mapping
 		// table must agree.
 		if hsn := d.revMap[dsn]; hsn != dsnFree {
-			mapped, ok := d.segMap[hsn]
+			mapped, ok := d.segMap.get(hsn)
 			if !ok || mapped != dsn {
 				return done, fmt.Errorf("core: scrub found broken mapping at dsn %d (hsn %d -> %v)",
 					dsn, hsn, mapped)

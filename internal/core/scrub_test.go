@@ -141,7 +141,7 @@ func TestScrubDetectsMetadataCorruption(t *testing.T) {
 		}
 	}
 	hsn := d.revMap[victim]
-	d.segMap[hsn] = victim + 1 // now revMap and segMap disagree
+	d.segMap.set(hsn, victim+1) // now revMap and segMap disagree
 	if _, err := d.Scrubber().Run(0, int(d.Config().Geometry.TotalSegments())); err == nil {
 		t.Fatal("scrub missed metadata corruption")
 	}

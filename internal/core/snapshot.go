@@ -119,19 +119,19 @@ func (d *DTL) SaveMetadata(w io.Writer) error {
 		}
 	}
 
-	// Segment mapping table, sorted for determinism.
-	hsns := make([]dram.HSN, 0, len(d.segMap))
-	for hsn := range d.segMap {
-		hsns = append(hsns, hsn)
-	}
-	sort.Slice(hsns, func(i, j int) bool { return hsns[i] < hsns[j] })
-	if err := put(cw, int64(len(hsns))); err != nil {
+	// Segment mapping table. The dense table iterates in ascending HSN
+	// order, so the stream is deterministic without a sort pass.
+	if err := put(cw, int64(d.segMap.len())); err != nil {
 		return err
 	}
-	for _, hsn := range hsns {
-		if err := put(cw, int64(hsn), int64(d.segMap[hsn])); err != nil {
-			return err
+	var mapErr error
+	d.segMap.forEach(func(hsn dram.HSN, dsn dram.DSN) {
+		if mapErr == nil {
+			mapErr = put(cw, int64(hsn), int64(dsn))
 		}
+	})
+	if mapErr != nil {
+		return mapErr
 	}
 
 	// VM records, sorted by id.
@@ -155,10 +155,10 @@ func (d *DTL) SaveMetadata(w io.Writer) error {
 
 	// Free AU queues per host.
 	for h := 0; h < d.cfg.MaxHosts; h++ {
-		if err := put(cw, int64(len(d.auFree[h]))); err != nil {
+		if err := put(cw, int64(d.auFree[h].len())); err != nil {
 			return err
 		}
-		if err := put(cw, d.auFree[h]...); err != nil {
+		if err := put(cw, d.auFree[h].items()...); err != nil {
 			return err
 		}
 	}
@@ -222,7 +222,7 @@ func LoadMetadata(r io.Reader, cfg Config) (*DTL, error) {
 				d.retired = make(map[int]bool)
 			}
 			d.retired[gr] = true
-			d.free[gr] = nil
+			d.free[gr].reset()
 		}
 	}
 
@@ -272,11 +272,11 @@ func LoadMetadata(r io.Reader, cfg Config) (*DTL, error) {
 		if d.revMap[dsn] != dsnFree {
 			return nil, fmt.Errorf("core: snapshot maps dsn %d twice", dsn)
 		}
-		d.segMap[dram.HSN(hsn)] = dram.DSN(dsn)
+		d.segMap.set(dram.HSN(hsn), dram.DSN(dsn))
 		d.revMap[dsn] = dram.HSN(hsn)
 	}
 	for gr := range d.free {
-		d.free[gr] = nil
+		d.free[gr].reset()
 		d.allocated[gr] = 0
 	}
 	for s := dram.DSN(0); int64(s) < g.TotalSegments(); s++ {
@@ -289,7 +289,7 @@ func LoadMetadata(r io.Reader, cfg Config) (*DTL, error) {
 			continue
 		}
 		if d.revMap[s] == dsnFree {
-			d.free[gr] = append(d.free[gr], s)
+			d.free[gr].push(s)
 		} else {
 			d.allocated[gr]++
 		}
@@ -318,7 +318,7 @@ func LoadMetadata(r io.Reader, cfg Config) (*DTL, error) {
 		for _, au := range st.aus {
 			for off := int64(0); off < d.cfg.SegmentsPerAU(); off++ {
 				hsn := d.hsnOf(st.host, au, off)
-				if _, ok := d.segMap[hsn]; !ok {
+				if _, ok := d.segMap.get(hsn); !ok {
 					return nil, fmt.Errorf("core: snapshot vm %d missing mapping for hsn %d", id, hsn)
 				}
 				st.hsns = append(st.hsns, hsn)
@@ -336,10 +336,12 @@ func LoadMetadata(r io.Reader, cfg Config) (*DTL, error) {
 		if n < 0 || n > d.cfg.TotalAUs() {
 			return nil, fmt.Errorf("core: snapshot host %d has %d free AUs", h, n)
 		}
-		d.auFree[h] = make([]int64, n)
-		if err := getSlice(cr, d.auFree[h]); err != nil {
+		aus := make([]int64, n)
+		if err := getSlice(cr, aus); err != nil {
 			return nil, err
 		}
+		d.auFree[h].reset()
+		d.auFree[h].pushAll(aus)
 	}
 
 	wantCRC := cr.crc

@@ -42,14 +42,15 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 
 	// Mappings identical.
-	if len(r.segMap) != len(d.segMap) {
-		t.Fatalf("segment count %d != %d", len(r.segMap), len(d.segMap))
+	if r.segMap.len() != d.segMap.len() {
+		t.Fatalf("segment count %d != %d", r.segMap.len(), d.segMap.len())
 	}
-	for hsn, dsn := range d.segMap {
-		if r.segMap[hsn] != dsn {
-			t.Fatalf("mapping mismatch at hsn %d: %d != %d", hsn, r.segMap[hsn], dsn)
+	d.segMap.forEach(func(hsn dram.HSN, dsn dram.DSN) {
+		got, ok := r.segMap.get(hsn)
+		if !ok || got != dsn {
+			t.Fatalf("mapping mismatch at hsn %d: %d != %d", hsn, got, dsn)
 		}
-	}
+	})
 	// VM population identical.
 	if r.LiveVMs() != d.LiveVMs() {
 		t.Fatalf("VMs %d != %d", r.LiveVMs(), d.LiveVMs())

@@ -119,6 +119,12 @@ func AblationSMC(o Options) Result {
 	return res
 }
 
+// srPoint is one sweep point's outcome from ablSelfRefreshRun.
+type srPoint struct {
+	enters, swapped int64
+	duty            float64
+}
+
 // ablSelfRefreshRun exercises the hotness engine under one parameter set
 // and reports self-refresh entries, swaps and the SR duty achieved. When o
 // carries -trace/-metrics paths the run is instrumented; sweep callers pass
@@ -180,16 +186,21 @@ func AblationProfilingThreshold(o Options) Result {
 	res.header(w)
 
 	n := o.scaled(1_500_000, 600_000)
-	tab := metrics.NewTable("threshold", "SR enters", "segments swapped", "SR duty")
-	for _, thr := range []sim.Time{50_000, 100_000, 400_000} {
+	thresholds := []sim.Time{50_000, 100_000, 400_000}
+	points := sweepPoints(thresholds, o.Parallel, func(thr sim.Time) srPoint {
 		po := o
 		if thr != 100_000 { // only the paper's threshold writes -trace/-metrics
 			po = o.withoutTelemetry()
 		}
 		enters, swapped, duty := ablSelfRefreshRun(po, thr, 32, n)
-		tab.AddRowf("%v\t%d\t%d\t%s", thr, enters, swapped, pct(duty))
-		res.Metrics[fmt.Sprintf("sr_enters_%dus", int64(thr)/1000)] = float64(enters)
-		res.Metrics[fmt.Sprintf("swapped_%dus", int64(thr)/1000)] = float64(swapped)
+		return srPoint{enters: enters, swapped: swapped, duty: duty}
+	})
+	tab := metrics.NewTable("threshold", "SR enters", "segments swapped", "SR duty")
+	for i, thr := range thresholds {
+		p := points[i]
+		tab.AddRowf("%v\t%d\t%d\t%s", thr, p.enters, p.swapped, pct(p.duty))
+		res.Metrics[fmt.Sprintf("sr_enters_%dus", int64(thr)/1000)] = float64(p.enters)
+		res.Metrics[fmt.Sprintf("swapped_%dus", int64(thr)/1000)] = float64(p.swapped)
 	}
 	tab.Render(w)
 	res.footer(w)
@@ -206,15 +217,20 @@ func AblationTSPTimeout(o Options) Result {
 	res.header(w)
 
 	n := o.scaled(1_500_000, 600_000)
-	tab := metrics.NewTable("budget (entries)", "SR enters", "SR duty")
-	for _, budget := range []int{4, 32, 256} {
+	budgets := []int{4, 32, 256}
+	points := sweepPoints(budgets, o.Parallel, func(budget int) srPoint {
 		po := o
 		if budget != 32 { // only the paper's budget writes -trace/-metrics
 			po = o.withoutTelemetry()
 		}
 		enters, _, duty := ablSelfRefreshRun(po, 100_000, budget, n)
-		tab.AddRowf("%d\t%d\t%s", budget, enters, pct(duty))
-		res.Metrics[fmt.Sprintf("sr_enters_b%d", budget)] = float64(enters)
+		return srPoint{enters: enters, duty: duty}
+	})
+	tab := metrics.NewTable("budget (entries)", "SR enters", "SR duty")
+	for i, budget := range budgets {
+		p := points[i]
+		tab.AddRowf("%d\t%d\t%s", budget, p.enters, pct(p.duty))
+		res.Metrics[fmt.Sprintf("sr_enters_b%d", budget)] = float64(p.enters)
 	}
 	tab.Render(w)
 	res.footer(w)

@@ -49,6 +49,10 @@ type Options struct {
 	// device over the 6-hour schedule (fig12/fig13/faults). Allocation
 	// failures under injected faults shed load instead of aborting the run.
 	FaultSpec string
+	// Parallel bounds the worker fan-out inside sweep experiments (each
+	// sweep point builds an independent device); <= 1 runs points serially.
+	// Results and report bytes are identical either way.
+	Parallel int
 }
 
 // DefaultOptions returns full-scale deterministic options writing to w.

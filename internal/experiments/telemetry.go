@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
 	"os"
 
@@ -22,6 +23,13 @@ type runTelemetry struct {
 	tr   *telemetry.Tracer
 	eng  *sim.Engine
 	stop func()
+
+	// Metrics stream to the CSV file as rows are sampled (O(1) memory over
+	// any horizon) rather than accumulating in the registry until finish.
+	metricsFile *os.File
+	metricsBuf  *bufio.Writer
+	stream      *telemetry.StreamSampler
+	metricsErr  error // deferred os.Create failure, reported at finish
 }
 
 // telemetryFor attaches tracing and periodic metrics sampling to d per the
@@ -72,7 +80,15 @@ func (rt *runTelemetry) startSampling(o Options, defaultPeriod sim.Time) {
 	if period <= 0 {
 		period = defaultPeriod
 	}
-	rt.stop = rt.reg.StartSampling(rt.eng, period)
+	f, err := os.Create(rt.metricsPath)
+	if err != nil {
+		rt.metricsErr = err
+		return
+	}
+	rt.metricsFile = f
+	rt.metricsBuf = bufio.NewWriter(f)
+	rt.stream = rt.reg.StreamTo(rt.metricsBuf)
+	rt.stop = rt.stream.Start(rt.eng, period)
 }
 
 // tick advances the sampling clock to now, firing any due interval timers.
@@ -103,13 +119,28 @@ func (rt *runTelemetry) finish(horizon sim.Time) error {
 		}
 	}
 	if rt.metricsPath != "" {
-		if err := writeTo(rt.metricsPath, func(f *os.File) error {
-			return rt.reg.WriteCSV(f)
-		}); err != nil {
+		if err := rt.closeMetrics(); err != nil {
 			return fmt.Errorf("experiments: writing metrics: %w", err)
 		}
 	}
 	return nil
+}
+
+// closeMetrics finalizes the streamed CSV: the header is forced out even if
+// no sample fired (so the file is always well-formed), the write buffer is
+// flushed, and the file closed. The first error anywhere in the chain wins.
+func (rt *runTelemetry) closeMetrics() error {
+	if rt.metricsErr != nil {
+		return rt.metricsErr
+	}
+	err := rt.stream.Finish()
+	if ferr := rt.metricsBuf.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := rt.metricsFile.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func writeTo(path string, fn func(*os.File) error) error {

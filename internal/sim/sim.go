@@ -1,14 +1,20 @@
 // Package sim provides a small discrete-event simulation core used by the
 // DRAM, memory-controller, and DTL models: a virtual nanosecond clock, a
-// binary-heap event queue, and repeating interval timers.
+// 4-ary min-heap event queue, and repeating interval timers.
 //
 // All simulated time in this repository is expressed in integer nanoseconds
 // (type Time). The simulation is single-threaded and deterministic: events
 // scheduled for the same instant fire in insertion order.
+//
+// The event queue stores scheduled events by value in an inlined 4-ary heap
+// rather than going through container/heap's interface{} API: no event is
+// ever boxed, so the steady-state schedule/fire cycle (pop one event, push
+// its successor) performs zero allocations. The 4-ary shape halves the tree
+// depth of a binary heap and keeps each node's children in one cache line,
+// which measurably shortens Step on event-dense runs.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -51,31 +57,24 @@ type scheduledEvent struct {
 	fire Event
 }
 
-type eventHeap []scheduledEvent
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by time, then insertion order.
+func (e *scheduledEvent) before(o *scheduledEvent) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(scheduledEvent)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+
+// heapArity is the fan-out of the event heap. Four children per node keeps
+// sift-down comparisons cache-local and the tree shallow.
+const heapArity = 4
 
 // Engine is a deterministic discrete-event simulator.
 // The zero value is ready to use.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []scheduledEvent // 4-ary min-heap ordered by (at, seq)
 }
 
 // NewEngine returns an Engine with the clock at zero.
@@ -87,6 +86,56 @@ func (e *Engine) Now() Time { return e.now }
 // Pending reports the number of scheduled events not yet fired.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// push inserts ev, restoring the heap property by sifting up.
+func (e *Engine) push(ev scheduledEvent) {
+	e.events = append(e.events, ev)
+	h := e.events
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event, sifting the tail element down.
+func (e *Engine) pop() scheduledEvent {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = scheduledEvent{} // drop the closure reference for the GC
+	h = h[:n]
+	e.events = h
+
+	i := 0
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(&h[best]) {
+				best = c
+			}
+		}
+		if !h[best].before(&h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
+}
+
 // At schedules fn to run at the absolute virtual time at.
 // Scheduling in the past panics: it would violate causality and always
 // indicates a model bug.
@@ -95,7 +144,7 @@ func (e *Engine) At(at Time, fn Event) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, scheduledEvent{at: at, seq: e.seq, fire: fn})
+	e.push(scheduledEvent{at: at, seq: e.seq, fire: fn})
 }
 
 // After schedules fn to run delay nanoseconds from now.
@@ -106,25 +155,36 @@ func (e *Engine) After(delay Time, fn Event) {
 	e.At(e.now+delay, fn)
 }
 
+// ticker is the reusable state behind Every: one ticker, one rescheduling
+// closure, allocated once at setup. Steady-state ticks re-push the same
+// closure value into the (non-boxing) event heap, so a firing interval
+// timer allocates nothing.
+type ticker struct {
+	e       *Engine
+	period  Time
+	fn      Event
+	fire    Event // self-rescheduling wrapper, built once
+	stopped bool
+}
+
 // Every schedules fn to run every period, starting one period from now,
 // until the returned cancel function is called. A non-positive period panics.
 func (e *Engine) Every(period Time, fn Event) (cancel func()) {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive period %v", period))
 	}
-	stopped := false
-	var tick Event
-	tick = func(now Time) {
-		if stopped {
+	t := &ticker{e: e, period: period, fn: fn}
+	t.fire = func(now Time) {
+		if t.stopped {
 			return
 		}
-		fn(now)
-		if !stopped {
-			e.After(period, tick)
+		t.fn(now)
+		if !t.stopped {
+			t.e.At(t.e.now+t.period, t.fire)
 		}
 	}
-	e.After(period, tick)
-	return func() { stopped = true }
+	e.After(period, t.fire)
+	return func() { t.stopped = true }
 }
 
 // Step fires the earliest pending event, advancing the clock to its time.
@@ -133,7 +193,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(scheduledEvent)
+	ev := e.pop()
 	e.now = ev.at
 	ev.fire(e.now)
 	return true

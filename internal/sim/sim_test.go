@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -218,6 +220,110 @@ func TestEveryReschedulesAcrossRunUntilBoundaries(t *testing.T) {
 		if ticks[i] != want[i] {
 			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
 		}
+	}
+}
+
+// TestHeapOrderingRandom drives the 4-ary heap with interleaved random
+// pushes and pops and checks full (time, insertion) ordering against a
+// reference sort. This is the safety net for the inlined heap replacing
+// container/heap.
+func TestHeapOrderingRandom(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var scheduled, fired []Time
+		pending := 0
+		for i := 0; i < 2000; i++ {
+			if pending > 0 && rng.Intn(3) == 0 {
+				if e.Step() {
+					pending--
+				}
+				continue
+			}
+			// Never schedule in the past: offsets are relative to now.
+			at := e.Now() + Time(rng.Int63n(1000))
+			e.At(at, func(now Time) { fired = append(fired, now) })
+			scheduled = append(scheduled, at)
+			pending++
+		}
+		e.Run()
+		sort.Slice(scheduled, func(i, j int) bool { return scheduled[i] < scheduled[j] })
+		if len(fired) != len(scheduled) {
+			t.Fatalf("seed %d: fired %d of %d events", seed, len(fired), len(scheduled))
+		}
+		for i := range fired {
+			if fired[i] != scheduled[i] {
+				t.Fatalf("seed %d: event %d fired at %v, want %v", seed, i, fired[i], scheduled[i])
+			}
+		}
+	}
+}
+
+// TestEverySteadyStateDoesNotAllocate pins the allocation-free interval
+// timer: after setup, each tick (pop + re-push of the same closure) must not
+// allocate. Refresh timers and metrics samplers fire millions of times over
+// a six-hour horizon, so an allocation here dominates profile noise.
+func TestEverySteadyStateDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	e.Every(10, func(Time) { ticks++ })
+	e.Step() // warm up: first firing reaches steady state
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Every tick allocates %.1f objects/op, want 0", allocs)
+	}
+	if ticks == 0 {
+		t.Fatal("timer never fired")
+	}
+}
+
+// TestStepSteadyStateDoesNotAllocate pins the event core itself: a
+// self-rescheduling event (the common steady-state shape) must go through
+// push/pop without boxing.
+func TestStepSteadyStateDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	var fire Event
+	fire = func(now Time) { e.At(now+5, fire) }
+	e.At(0, fire)
+	e.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkEngineStep measures the steady-state event cycle: one pop, the
+// callback, one push. The interesting numbers are ns/op and allocs/op
+// (which must be 0).
+func BenchmarkEngineStep(b *testing.B) {
+	e := NewEngine()
+	var fire Event
+	fire = func(now Time) { e.At(now+5, fire) }
+	e.At(0, fire)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineStepDeep measures Step with many pending timers (the
+// fig14-style configuration: per-channel samplers plus profiling windows),
+// exercising sift-down depth.
+func BenchmarkEngineStepDeep(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 64; i++ {
+		period := Time(7 + i)
+		e.Every(period, func(Time) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
 	}
 }
 

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dtl/internal/sim"
+)
+
+// TestStreamMatchesWriteCSV pins format compatibility: a streamed run must
+// produce byte-identical CSV to sampling into the registry and calling
+// WriteCSV, for counters, gauges, and timers.
+func TestStreamMatchesWriteCSV(t *testing.T) {
+	build := func() (*Registry, *Counter, *Gauge, *Timer) {
+		r := NewRegistry()
+		return r, r.Counter("hits"), r.Gauge("load"), r.Timer("lat", nil)
+	}
+
+	drive := func(sample func(sim.Time), c *Counter, g *Gauge, tm *Timer) {
+		c.Inc()
+		g.Set(0.25)
+		tm.Observe(150)
+		sample(10)
+		c.Add(9)
+		g.Set(3)
+		tm.Observe(50)
+		sample(20)
+	}
+
+	r1, c1, g1, t1 := build()
+	drive(r1.Sample, c1, g1, t1)
+	var want strings.Builder
+	if err := r1.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, c2, g2, t2 := build()
+	var got strings.Builder
+	s := r2.StreamTo(&got)
+	drive(s.Sample, c2, g2, t2)
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("streamed CSV differs from WriteCSV:\nstream: %q\nbatch:  %q",
+			got.String(), want.String())
+	}
+	if s.Rows() != 2 {
+		t.Fatalf("rows = %d, want 2", s.Rows())
+	}
+}
+
+// TestStreamHeaderFixedAtFirstSample: metrics registered after the first
+// sample are excluded, keeping every row aligned with the header.
+func TestStreamHeaderFixedAtFirstSample(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("early").Inc()
+	var sb strings.Builder
+	s := r.StreamTo(&sb)
+	s.Sample(5)
+	r.Gauge("late").Set(3) // must not corrupt subsequent rows
+	s.Sample(10)
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_ns,early\n5,1\n10,1\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+// TestStreamFinishWithoutSamplesWritesHeader: a run shorter than one
+// sampling period still yields a well-formed CSV.
+func TestStreamFinishWithoutSamplesWritesHeader(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c")
+	var sb strings.Builder
+	s := r.StreamTo(&sb)
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "time_ns,c\n" {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f *failWriter) Write(p []byte) (int, error) { return 0, f.err }
+
+// TestStreamWriteErrorIsSticky: after a write failure, Sample stops touching
+// the writer and Err reports the original cause.
+func TestStreamWriteErrorIsSticky(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	boom := errors.New("disk full")
+	s := r.StreamTo(&failWriter{err: boom})
+	s.Sample(10)
+	s.Sample(20)
+	if !errors.Is(s.Err(), boom) {
+		t.Fatalf("err = %v, want %v", s.Err(), boom)
+	}
+	if s.Rows() != 0 {
+		t.Fatalf("rows = %d after failed writes", s.Rows())
+	}
+}
+
+// TestStreamSteadyStateDoesNotAllocate: per-sample row rendering reuses the
+// sampler's buffer; only the destination writer may allocate.
+func TestStreamSteadyStateDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	tm := r.Timer("t", nil)
+	c.Add(12345)
+	g.Set(0.125)
+	tm.Observe(100)
+	sink := discardWriter{}
+	s := r.StreamTo(sink)
+	now := sim.Time(0)
+	s.Sample(now) // warm up: header + first row sizes the buffer
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += 10
+		s.Sample(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Sample allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -4,22 +4,25 @@
 # Usage:
 #   scripts/bench_baseline.sh [output.json] [bench-regexp] [count]
 #
-# Defaults write BENCH_seed.json in the repo root from the two microbenchmarks
-# that gate performance regressions (the experiment benchmarks are full runs
-# and too slow for a routine baseline). Compare a later run against the
-# baseline with any JSON-aware diff; ns_per_op within ~2% is noise.
+# Defaults write BENCH_seed.json in the repo root from the fast-path
+# microbenchmarks that gate performance regressions (the experiment
+# benchmarks are full runs and too slow for a routine baseline): the
+# end-to-end translation benchmarks at the root plus the event-core and
+# core-datapath benchmarks in internal packages. Compare a later run against
+# the baseline with scripts/bench_check.sh (or any JSON-aware diff);
+# ns_per_op within ~2% is noise.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_seed.json}"
-pattern="${2:-BenchmarkAccessPath|BenchmarkAllocDealloc}"
+pattern="${2:-BenchmarkAccessPath|BenchmarkAllocDealloc|BenchmarkEngineStep|BenchmarkSMCHit|BenchmarkSMCMissWalk|BenchmarkSwapMigration}"
 count="${3:-5}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem -count "$count" . | tee "$tmp" >&2
+go test -run '^$' -bench "$pattern" -benchmem -count "$count" ./... | tee "$tmp" >&2
 
 # Parse `go test -bench` lines:
 #   BenchmarkAccessPath-8   8242424   146.7 ns/op   0 B/op   0 allocs/op

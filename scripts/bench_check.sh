@@ -1,0 +1,62 @@
+#!/bin/sh
+# Gate benchmark regressions against the committed baseline.
+#
+# Usage:
+#   scripts/bench_check.sh [baseline.json] [factor] [count]
+#
+# Re-runs every benchmark named in the baseline (BENCH_seed.json by default)
+# and fails if any averages worse than factor x the baseline's ns_per_op
+# (default 3x — wide enough that shared-runner noise never trips it, tight
+# enough that a real fast-path regression, like an allocation sneaking back
+# into the event loop, does).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_seed.json}"
+factor="${2:-3}"
+count="${3:-2}"
+
+pattern="$(awk -F'"' '/"name":/ {printf "%s%s", sep, $4; sep="|"}' "$baseline")"
+if [ -z "$pattern" ]; then
+    echo "bench_check: no benchmarks found in $baseline" >&2
+    exit 2
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "^($pattern)\$" -benchmem -count "$count" ./... | tee "$tmp" >&2
+
+awk -v factor="$factor" '
+NR == FNR {
+    # Baseline entries: {"name": "...", ..., "ns_per_op": N, ...}
+    if ($0 ~ /"name":/) {
+        name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+        base[name] = ns + 0
+    }
+    next
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    n[name]++
+    sum[name] += $3
+}
+END {
+    fail = 0
+    for (name in base) {
+        if (!(name in n)) {
+            printf "FAIL %-28s did not run (baseline stale? regenerate with bench_baseline.sh)\n", name
+            fail = 1
+            continue
+        }
+        cur = sum[name] / n[name]
+        limit = base[name] * factor
+        verdict = (cur > limit) ? "FAIL" : "ok"
+        printf "%-4s %-28s %10.2f ns/op   baseline %10.2f   limit %10.2f\n", verdict, name, cur, base[name], limit
+        if (cur > limit) fail = 1
+    }
+    exit fail
+}' "$baseline" "$tmp"
