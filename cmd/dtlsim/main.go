@@ -9,15 +9,28 @@
 //	dtlsim -exp all -quick -parallel 4
 //	dtlsim -exp fig14 -seed 7
 //	dtlsim -exp fig12 -quick -trace t.json -metrics m.csv -sample 1ms
+//	dtlsim -exp fig12 -quick -trace t.jsonl -trace-format jsonl
+//	dtlsim -exp fig12 -quick -policy reserve=3 -trace b.jsonl -trace-format jsonl
+//	dtlsim -exp fig12 -watch
 //	dtlsim -exp faults -quick -faults 'storm:ch1/rk2:at=90m;kill:ch3/rk1:at=3h'
 //	dtlsim -exp fig14 -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 //
-// -trace writes a Chrome trace_event JSON of the run (open in Perfetto or
-// chrome://tracing); -metrics samples every registry metric into a CSV time
-// series; -sample sets the virtual-time sampling period (0 = a default
-// matched to the experiment's horizon). Summarize a trace with cmd/dtlstat.
+// -trace writes a trace of the run; -trace-format selects the encoding:
+// chrome (default; a trace_event JSON to open in Perfetto or
+// chrome://tracing), jsonl (one record per line, streamed as the run
+// executes), or csv (the same records as a fixed-column table). The jsonl
+// and csv sinks stream, so they keep every event even on runs long enough to
+// wrap the in-memory trace ring. Summarize any format with `dtlstat read`;
+// compare two runs with `dtlstat diff`. -metrics samples every registry
+// metric into a CSV time series; -sample sets the virtual-time sampling
+// period (0 = a default matched to the experiment's horizon).
 // -faults injects a deterministic fault process (internal/fault grammar) into
 // the schedule-driven experiments, exercising the self-healing loop.
+// -policy overrides power-down policy knobs (currently 'reserve=N', the
+// free-rank-group headroom) for A/B comparisons with `dtlstat diff`.
+// -watch paints a live dashboard on stderr: per-rank power-state strip,
+// rolling counters, and an ETA; plain ANSI on a terminal, one line per
+// snapshot when piped. Watching never alters results.
 //
 // -parallel N runs the selected experiments across N workers; reports print
 // in the same order and with the same bytes as a serial run (when several
@@ -34,26 +47,31 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"dtl/internal/experiments"
 	"dtl/internal/fault"
 	"dtl/internal/sim"
+	"dtl/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig1..fig15, table2..table6, amat) or 'all'")
-		quick   = flag.Bool("quick", false, "reduced-scale run for smoke testing")
-		seed    = flag.Int64("seed", 1, "random seed")
-		list    = flag.Bool("list", false, "list available experiments")
-		jsonOut = flag.Bool("json", false, "emit results as JSON (suppresses tables)")
-		csvDir  = flag.String("csv", "", "directory for plot-ready CSV series (fig1/fig9/fig12/fig14)")
-		trace   = flag.String("trace", "", "write a Chrome trace_event JSON of the run (fig9/fig12/fig13/fig14)")
-		metrics = flag.String("metrics", "", "write sampled registry metrics as CSV")
-		sample  = flag.String("sample", "0", "virtual-time metrics sampling period (e.g. 1ms; 0 = per-experiment default)")
-		faults  = flag.String("faults", "", "fault-injection spec for the schedule experiments (fig12/fig13/faults), e.g. 'seed=7;storm:ch1/rk2:at=90m;kill:ch3/rk1:at=3h'")
+		exp      = flag.String("exp", "all", "experiment id (fig1..fig15, table2..table6, amat) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced-scale run for smoke testing")
+		seed     = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list available experiments")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON (suppresses tables)")
+		csvDir   = flag.String("csv", "", "directory for plot-ready CSV series (fig1/fig9/fig12/fig14)")
+		trace    = flag.String("trace", "", "write a trace of the run (fig9/fig12/fig13/fig14)")
+		traceFmt = flag.String("trace-format", "chrome", "trace encoding: chrome, jsonl, or csv (jsonl/csv stream every event)")
+		metrics  = flag.String("metrics", "", "write sampled registry metrics as CSV")
+		sample   = flag.String("sample", "0", "virtual-time metrics sampling period (e.g. 1ms; 0 = per-experiment default)")
+		faults   = flag.String("faults", "", "fault-injection spec for the schedule experiments (fig12/fig13/faults), e.g. 'seed=7;storm:ch1/rk2:at=90m;kill:ch3/rk1:at=3h'")
+		policy   = flag.String("policy", "", "power-down policy overrides for A/B runs, e.g. 'reserve=3'")
+		watch    = flag.Bool("watch", false, "live dashboard on stderr (power-state strip, counters, ETA)")
 
 		parallel   = flag.Int("parallel", 1, "run experiments across N workers (reports stay in serial order)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
@@ -84,12 +102,39 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	format, err := telemetry.ParseTraceFormat(*traceFmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtlsim:", err)
+		os.Exit(2)
+	}
+	if format != telemetry.FormatChrome && *trace == "" {
+		fmt.Fprintln(os.Stderr, "dtlsim: -trace-format has no effect without -trace")
+	}
+	reserve, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtlsim:", err)
+		os.Exit(2)
+	}
 	opts := experiments.Options{
 		Quick: *quick, Seed: *seed, Out: out, CSVDir: *csvDir,
 		TracePath: *trace, MetricsPath: *metrics,
-		SamplePeriod: sim.Time(samplePeriod.Nanoseconds()),
-		FaultSpec:    *faults,
-		Parallel:     *parallel,
+		TraceFormat:      format,
+		SamplePeriod:     sim.Time(samplePeriod.Nanoseconds()),
+		FaultSpec:        *faults,
+		Parallel:         *parallel,
+		PowerDownReserve: reserve,
+	}
+
+	var watchDone chan struct{}
+	if *watch {
+		if *parallel > 1 {
+			fmt.Fprintln(os.Stderr, "dtlsim: -watch is disabled when experiments run in parallel")
+		}
+		// Cap 1: the publisher coalesces, so the renderer always reads the
+		// newest snapshot and can never stall virtual time.
+		opts.Watch = make(chan experiments.WatchSnapshot, 1)
+		watchDone = make(chan struct{})
+		go runWatch(opts.Watch, watchDone)
 	}
 
 	if *cpuProfile != "" {
@@ -123,6 +168,10 @@ func main() {
 		runners = append(runners, r)
 	}
 	results := experiments.RunAll(runners, opts, *parallel)
+	if opts.Watch != nil {
+		close(opts.Watch) // experiments never close it; the runs are over
+		<-watchDone
+	}
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -146,4 +195,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parsePolicy parses the -policy string: semicolon-separated key=value
+// overrides. The only key defined today is 'reserve' (free rank-group
+// headroom before power-down, >= 1); unknown keys are an error so typos
+// don't silently run the baseline policy.
+func parsePolicy(s string) (reserve int, err error) {
+	if s == "" {
+		return 0, nil
+	}
+	for _, kv := range strings.Split(s, ";") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return 0, fmt.Errorf("bad -policy entry %q: want key=value", kv)
+		}
+		switch key {
+		case "reserve":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return 0, fmt.Errorf("bad -policy reserve %q: want an integer >= 1", val)
+			}
+			reserve = n
+		default:
+			return 0, fmt.Errorf("unknown -policy key %q (known: reserve)", key)
+		}
+	}
+	return reserve, nil
 }

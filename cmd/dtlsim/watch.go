@@ -1,0 +1,194 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dtl/internal/experiments"
+	"dtl/internal/sim"
+)
+
+// The -watch dashboard. It consumes WatchSnapshots from the sim goroutine and
+// owns stderr: on a terminal it repaints a compact per-rank power-state strip
+// in place with plain ANSI (cursor-up + erase-line, nothing fancier); when
+// stderr is piped it degrades to one plain line per snapshot so the output
+// stays greppable. Rendering runs on the wall clock and never feeds anything
+// back into the run — results are byte-identical with or without it.
+
+// runWatch drains the watch channel until dtlsim closes it, then signals done.
+func runWatch(ch <-chan experiments.WatchSnapshot, done chan<- struct{}) {
+	defer close(done)
+	r := &watchRenderer{w: os.Stderr, tty: stderrIsTTY(), start: time.Now()}
+	for s := range ch {
+		r.render(s)
+	}
+}
+
+// stderrIsTTY reports whether stderr is a character device. This is the whole
+// TTY story: no termios, no window-size probing — the dashboard fits 80 cols.
+func stderrIsTTY() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+type watchRenderer struct {
+	w     io.Writer
+	tty   bool
+	start time.Time
+	lines int // lines painted by the previous frame (tty mode)
+}
+
+// State glyphs for the rank strip. '#' is the expensive state on purpose:
+// a healthy power-down run visibly thins out.
+func glyph(state string) byte {
+	switch state {
+	case "standby":
+		return '#'
+	case "self-refresh":
+		return '~'
+	case "mpsm":
+		return '.'
+	case "retired":
+		return 'X'
+	}
+	return '?'
+}
+
+const watchLegend = "# standby   ~ self-refresh   . mpsm   X retired"
+
+func (r *watchRenderer) render(s experiments.WatchSnapshot) {
+	if r.tty {
+		r.renderFrame(s)
+	} else {
+		r.renderLine(s)
+	}
+}
+
+// channelStrips groups the global-rank-ordered strip back into one glyph row
+// per channel, ranks left to right.
+func channelStrips(s experiments.WatchSnapshot) []string {
+	rows := map[int][]byte{}
+	for _, rk := range s.Ranks {
+		var ch, rank int
+		if _, err := fmt.Sscanf(rk.Name, "ch%d/rk%d", &ch, &rank); err != nil {
+			ch = 0 // unlabeled rank: fold into one row rather than drop it
+		}
+		rows[ch] = append(rows[ch], glyph(rk.State))
+	}
+	chans := make([]int, 0, len(rows))
+	for ch := range rows {
+		chans = append(chans, ch)
+	}
+	sort.Ints(chans)
+	out := make([]string, 0, len(chans))
+	for _, ch := range chans {
+		out = append(out, fmt.Sprintf("  ch%-2d %s", ch, rows[ch]))
+	}
+	return out
+}
+
+// progress returns the completed fraction, or -1 when the horizon is unknown.
+func progress(s experiments.WatchSnapshot) float64 {
+	if s.Horizon <= 0 {
+		return -1
+	}
+	f := float64(s.Now) / float64(s.Horizon)
+	return min(f, 1)
+}
+
+// eta extrapolates remaining wall time from elapsed wall time and virtual
+// progress. Early frames divide by tiny fractions, so it is only shown once
+// the run is 1% in.
+func (r *watchRenderer) eta(frac float64) string {
+	if frac < 0.01 {
+		return "--"
+	}
+	if frac >= 1 {
+		return "0s"
+	}
+	elapsed := time.Since(r.start)
+	rem := time.Duration(float64(elapsed) * (1 - frac) / frac)
+	return rem.Round(time.Second).String()
+}
+
+func vdur(t sim.Time) string {
+	return time.Duration(t).String()
+}
+
+// headline is the shared first line of both modes.
+func headline(s experiments.WatchSnapshot, etaStr string) string {
+	name := s.Experiment
+	if name == "" {
+		name = "run"
+	}
+	if frac := progress(s); frac >= 0 {
+		pct := fmt.Sprintf("%5.1f%%", 100*frac)
+		if s.Done {
+			pct = " done "
+		}
+		return fmt.Sprintf("%-7s t %s / %s  %s  ETA %s",
+			name, vdur(s.Now), vdur(s.Horizon), pct, etaStr)
+	}
+	return fmt.Sprintf("%-7s t %s", name, vdur(s.Now))
+}
+
+func counters(s experiments.WatchSnapshot) string {
+	return fmt.Sprintf("  migrations %-10d wakes %-10d faults %-6d retired %d",
+		s.Migrations, s.Wakes, s.Faults, s.Retired)
+}
+
+// renderFrame repaints the dashboard in place: move the cursor up over the
+// previous frame, then rewrite every line with erase-to-end so shrinking
+// content leaves no droppings.
+func (r *watchRenderer) renderFrame(s experiments.WatchSnapshot) {
+	lines := []string{headline(s, r.eta(progress(s)))}
+	lines = append(lines, channelStrips(s)...)
+	lines = append(lines, counters(s), "  "+watchLegend)
+
+	var b strings.Builder
+	if r.lines > 0 {
+		fmt.Fprintf(&b, "\x1b[%dA", r.lines)
+	}
+	for _, l := range lines {
+		b.WriteString("\x1b[2K") // erase line
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	io.WriteString(r.w, b.String())
+	r.lines = len(lines)
+}
+
+// renderLine is the piped fallback: one self-contained line per snapshot.
+func (r *watchRenderer) renderLine(s experiments.WatchSnapshot) {
+	byState := map[string]int{}
+	for _, rk := range s.Ranks {
+		byState[rk.State]++
+	}
+	var b strings.Builder
+	name := s.Experiment
+	if name == "" {
+		name = "run"
+	}
+	fmt.Fprintf(&b, "watch %s t=%s", name, vdur(s.Now))
+	if s.Horizon > 0 {
+		fmt.Fprintf(&b, "/%s", vdur(s.Horizon))
+	}
+	if frac := progress(s); frac >= 0 {
+		fmt.Fprintf(&b, " %.1f%%", 100*frac)
+	}
+	for _, st := range []string{"standby", "self-refresh", "mpsm", "retired"} {
+		if n, ok := byState[st]; ok {
+			fmt.Fprintf(&b, " %s=%d", st, n)
+		}
+	}
+	fmt.Fprintf(&b, " migrations=%d wakes=%d faults=%d", s.Migrations, s.Wakes, s.Faults)
+	if s.Done {
+		b.WriteString(" done")
+	}
+	b.WriteByte('\n')
+	io.WriteString(r.w, b.String())
+}

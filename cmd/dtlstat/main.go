@@ -1,17 +1,32 @@
-// Command dtlstat summarizes a Chrome trace_event JSON file produced by
-// dtlsim -trace: per-rank residency in each power state, migration-latency
-// percentiles, and counts of the remaining instrumented events.
+// Command dtlstat summarizes and compares traces produced by dtlsim -trace:
+// per-rank residency in each power state, migration-latency percentiles, the
+// background-energy proxy, and counts of the remaining instrumented events.
+// All three trace encodings (chrome, jsonl, csv) are accepted and sniffed
+// automatically.
 //
 // Usage:
 //
-//	dtlstat trace.json
-//	dtlsim -exp fig12 -quick -trace t.json && dtlstat t.json
-//	dtlstat -check RESIDENCY_seed.json t.json   # CI residency gate
+//	dtlstat read trace.jsonl
+//	dtlstat read -check RESIDENCY_seed.json trace.json   # CI residency gate
+//	dtlstat diff baseline.jsonl candidate.jsonl
+//	dtlstat diff -share 0.05 -lat 0.25 -energy 0.10 a.jsonl b.jsonl
 //
-// -check compares the device-wide residency share of each power state
-// against a tolerance band (JSON: {"states": {"mpsm": {"share": 0.4,
-// "tol": 0.1}, ...}}) and exits nonzero on a violation, so CI can catch
-// power-behavior regressions the unit suite is too coarse to see.
+//	dtlstat [-check band.json] trace.json                # legacy spelling of 'read'
+//
+// `read` renders one trace's summary. -check compares the device-wide
+// residency share of each power state against a tolerance band (JSON:
+// {"states": {"mpsm": {"share": 0.4, "tol": 0.1}, ...}}) and exits nonzero
+// on a violation, so CI can catch power-behavior regressions the unit suite
+// is too coarse to see.
+//
+// `diff` compares a baseline run A against a candidate B: per-state residency
+// share deltas (aggregate and worst rank), migration-latency percentile
+// shifts, and the energy-proxy drift. With no tolerance flags it only
+// reports; setting -share/-lat/-energy turns the corresponding check into a
+// gate that exits nonzero when the candidate leaves the band (a rank-set
+// mismatch always fails). Two runs of the same dtlsim configuration are
+// byte-deterministic, so `dtlstat diff -share 1e-9` of a repeated run is a
+// meaningful CI identity check.
 package main
 
 import (
@@ -26,38 +41,70 @@ import (
 )
 
 func main() {
-	check := flag.String("check", "", "residency band JSON; exit nonzero if any state's aggregate share leaves its band")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dtlstat [-check band.json] <trace.json>")
-		flag.PrintDefaults()
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "read":
+			os.Exit(cmdRead(args[1:]))
+		case "diff":
+			os.Exit(cmdDiff(args[1:]))
+		case "help", "-h", "-help", "--help":
+			usage()
+			return
+		}
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	// Legacy spelling: dtlstat [-check band.json] <trace.json>.
+	os.Exit(cmdRead(args))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dtlstat read [-check band.json] <trace>
+  dtlstat diff [-share S] [-lat L] [-energy E] <traceA> <traceB>
+  dtlstat [-check band.json] <trace>     (same as 'read')
+
+Traces may be chrome JSON, JSONL, or events CSV; the format is sniffed.`)
+}
+
+// loadSummary opens and summarizes one trace file of any supported format.
+func loadSummary(path string) (*telemetry.TraceSummary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := telemetry.SummarizeTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// cmdRead renders one trace's summary, optionally gated by a residency band.
+func cmdRead(args []string) int {
+	fs := flag.NewFlagSet("dtlstat read", flag.ExitOnError)
+	check := fs.String("check", "", "residency band JSON; exit nonzero if any state's aggregate share leaves its band")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dtlstat read [-check band.json] <trace>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	s, err := loadSummary(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtlstat:", err)
-		os.Exit(1)
-	}
-	s, err := telemetry.SummarizeChromeTrace(f)
-	f.Close()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtlstat:", err)
-		os.Exit(1)
+		return 1
 	}
 	if len(s.Residency) == 0 {
 		fmt.Fprintln(os.Stderr, "dtlstat: no power spans in trace")
-		os.Exit(1)
+		return 1
 	}
 
-	ranks := make([]int, 0, len(s.Residency))
-	for rank := range s.Residency {
-		ranks = append(ranks, rank)
-	}
-	sort.Ints(ranks)
+	ranks := s.Ranks()
 	states := stateColumns(s)
 
 	fmt.Printf("power-state residency (%d ranks, run %.3f s)\n\n",
@@ -66,7 +113,7 @@ func main() {
 	tab := metrics.NewTable(append(header, "total_s")...)
 	for _, rank := range ranks {
 		total := s.RankDuration(rank)
-		cells := []string{rankLabel(s, rank)}
+		cells := []string{s.RankLabel(rank)}
 		for _, st := range states {
 			cells = append(cells, sharePct(s.Residency[rank][st], total))
 		}
@@ -100,6 +147,9 @@ func main() {
 		}
 	}
 
+	fmt.Printf("\nenergy proxy: %.0f (weight x us, standby=1.0 self-refresh=0.2 mpsm=0.068)\n",
+		s.EnergyProxy(nil))
+
 	if len(s.Points) > 0 {
 		fmt.Println("\nevents:")
 		names := make([]string, 0, len(s.Points))
@@ -115,10 +165,94 @@ func main() {
 	if *check != "" {
 		if err := checkBand(*check, agg, aggTotal); err != nil {
 			fmt.Fprintln(os.Stderr, "dtlstat:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("\nresidency band check against %s: PASS\n", *check)
 	}
+	return 0
+}
+
+// cmdDiff compares a baseline trace A against a candidate B.
+func cmdDiff(args []string) int {
+	fs := flag.NewFlagSet("dtlstat diff", flag.ExitOnError)
+	share := fs.Float64("share", 0, "max absolute residency-share drift per state, aggregate and per-rank (0 = report only)")
+	lat := fs.Float64("lat", 0, "max relative migration-latency percentile shift, e.g. 0.25 = 25% (0 = report only)")
+	energy := fs.Float64("energy", 0, "max relative energy-proxy drift (0 = report only)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dtlstat diff [-share S] [-lat L] [-energy E] <traceA> <traceB>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+
+	a, err := loadSummary(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtlstat:", err)
+		return 1
+	}
+	b, err := loadSummary(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtlstat:", err)
+		return 1
+	}
+
+	d := telemetry.DiffSummaries(a, b)
+	fmt.Printf("diff: A=%s  B=%s\n\n", fs.Arg(0), fs.Arg(1))
+
+	tab := metrics.NewTable("state", "share_A", "share_B", "delta_pp", "worst_rank", "rank_delta_pp")
+	for _, sh := range d.Aggregate {
+		worst := "-"
+		worstDelta := "-"
+		if rd, w, ok := d.WorstRankShare(sh.State); ok {
+			worst = rd.Label
+			worstDelta = fmt.Sprintf("%+.2f", 100*w.Delta())
+		}
+		tab.AddRow(sh.State,
+			fmt.Sprintf("%.1f%%", 100*sh.A), fmt.Sprintf("%.1f%%", 100*sh.B),
+			fmt.Sprintf("%+.2f", 100*sh.Delta()), worst, worstDelta)
+	}
+	tab.Render(os.Stdout)
+
+	if len(d.RanksOnlyA) > 0 || len(d.RanksOnlyB) > 0 {
+		fmt.Printf("\nrank sets differ: %d ranks only in A, %d only in B\n",
+			len(d.RanksOnlyA), len(d.RanksOnlyB))
+	}
+
+	fmt.Printf("\nmigrations: A %d  B %d\n", d.MigrationsA, d.MigrationsB)
+	for _, p := range d.Percentiles {
+		fmt.Printf("  %-4s %8.1f us -> %8.1f us  (%+.1f%%)\n", p.Name, p.A, p.B, 100*p.Shift())
+	}
+	fmt.Printf("energy proxy: A %.0f  B %.0f  (%+.2f%%)\n", d.EnergyA, d.EnergyB, 100*d.EnergyDelta())
+
+	if len(d.Points) > 0 {
+		names := make([]string, 0, len(d.Points))
+		for n := range d.Points {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("events:")
+		for _, n := range names {
+			c := d.Points[n]
+			fmt.Printf("  %-18s A %-8d B %-8d (%+d)\n", n, c[0], c[1], c[1]-c[0])
+		}
+	}
+
+	tol := telemetry.DiffTolerance{Share: *share, LatFrac: *lat, EnergyFrac: *energy}
+	bad := d.Check(tol)
+	if len(bad) > 0 {
+		fmt.Println()
+		for _, v := range bad {
+			fmt.Fprintln(os.Stderr, "dtlstat: FAIL:", v)
+		}
+		return 1
+	}
+	if tol.Share > 0 || tol.LatFrac > 0 || tol.EnergyFrac > 0 {
+		fmt.Println("\ntolerance check: PASS")
+	}
+	return 0
 }
 
 // aggregateResidency sums residency microseconds across ranks per state, and
@@ -196,15 +330,6 @@ func stateColumns(s *telemetry.TraceSummary) []string {
 		}
 	}
 	return cols
-}
-
-// rankLabel prefers the recorded thread name ("ch0/rk3"); falls back to the
-// numeric tid.
-func rankLabel(s *telemetry.TraceSummary, rank int) string {
-	if name, ok := s.RankNames[rank]; ok && name != "" {
-		return name
-	}
-	return fmt.Sprintf("rk%d", rank)
 }
 
 // sharePct renders a residency share of the rank's total time.

@@ -93,7 +93,7 @@ func AblationSMC(o Options) Result {
 		}
 		var rt *runTelemetry
 		if sc.paper {
-			rt = o.telemetryFor(d, 50*sim.Microsecond)
+			rt = o.telemetryFor(d, 50*sim.Microsecond, 0)
 		}
 		now := sim.Time(0)
 		for i := 0; i < n; i++ {
@@ -154,7 +154,7 @@ func ablSelfRefreshRun(o Options, threshold sim.Time, tspEntries int, n int) (en
 		panic(err)
 	}
 	d.Hotness().Enable(0)
-	rt := o.telemetryFor(d, 100*sim.Microsecond)
+	rt := o.telemetryFor(d, 100*sim.Microsecond, 0)
 	now := sim.Time(0)
 	for i := 0; i < n; i++ {
 		a := g.Next()

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"dtl/internal/sim"
+	"dtl/internal/telemetry"
 )
 
 // Options control experiment scale.
@@ -38,9 +39,22 @@ type Options struct {
 	// self-refresh configuration), and fig9 (which then also replays its
 	// mix through a DTL to capture the SMC behavior behind the strides).
 	TracePath string
+	// TraceFormat selects the TracePath encoding: FormatChrome (the default)
+	// collects the run in the tracer's ring and writes one trace_event JSON
+	// document at finish; FormatJSONL and FormatCSV stream every record to the
+	// file as the run progresses, so long runs are not bounded by the ring
+	// capacity and a killed run still leaves a complete prefix on disk.
+	TraceFormat telemetry.TraceFormat
 	// MetricsPath, when non-empty, receives the sampled metrics registry as
 	// CSV (one row per sample, one column per metric).
 	MetricsPath string
+	// Watch, when non-nil, receives periodic WatchSnapshots from experiments
+	// that drive a DTL device, at the metrics sampling cadence. Create it
+	// with capacity 1: the publisher coalesces (replaces a stale undelivered
+	// snapshot) instead of blocking, so watching never perturbs the run. The
+	// caller owns the channel and must keep draining it until the runner
+	// returns; experiments never close it.
+	Watch chan WatchSnapshot
 	// SamplePeriod is the virtual-time metrics sampling period; 0 picks a
 	// per-experiment default matched to the run's horizon.
 	SamplePeriod sim.Time
@@ -53,6 +67,16 @@ type Options struct {
 	// sweep point builds an independent device); <= 1 runs points serially.
 	// Results and report bytes are identical either way.
 	Parallel int
+	// PowerDownReserve, when > 0, overrides core.Config.ReserveRankGroups for
+	// the power-down schedule experiments (fig12/fig13/fig15/faults): the
+	// number of free rank groups the allocator keeps as headroom before a
+	// group may power down. It is the policy knob `dtlsim -policy reserve=N`
+	// exposes for A/B runs compared with `dtlstat diff`.
+	PowerDownReserve int
+
+	// watchExperiment labels Watch snapshots with the runner id; stamped by
+	// RunAll so single-runner invocations need no wiring.
+	watchExperiment string
 }
 
 // DefaultOptions returns full-scale deterministic options writing to w.

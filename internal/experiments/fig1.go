@@ -35,7 +35,7 @@ func Fig1(o Options) Result {
 	vcpusUsed := reg.Gauge("fig1.vcpus_used")
 	memBytes := reg.Gauge("fig1.mem_bytes")
 	memUtil := reg.Gauge("fig1.mem_util")
-	rt := o.telemetryForRegistry(reg, vmtrace.Interval)
+	rt := o.telemetryForRegistry(reg, vmtrace.Interval, cfg.Horizon)
 	for _, s := range snaps {
 		activeVMs.Set(float64(s.ActiveVMs))
 		vcpusUsed.Set(float64(s.UsedVCPUs))

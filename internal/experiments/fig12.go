@@ -3,6 +3,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"dtl/internal/core"
 	"dtl/internal/cxl"
@@ -68,6 +69,9 @@ type pdRun struct {
 func runPowerDownSchedule(o Options) pdRun {
 	g := pdGeometry()
 	cfg := core.DefaultConfig(g)
+	if o.PowerDownReserve > 0 {
+		cfg.ReserveRankGroups = o.PowerDownReserve
+	}
 	d, err := core.New(cfg)
 	if err != nil {
 		panic(err)
@@ -89,7 +93,7 @@ func runPowerDownSchedule(o Options) pdRun {
 	}
 
 	run := pdRun{horizon: genCfg.Horizon}
-	rt := o.telemetryFor(d, vmtrace.Interval)
+	rt := o.telemetryFor(d, vmtrace.Interval, genCfg.Horizon)
 
 	// With a fault spec, a seeded injector drives device faults on its own
 	// virtual-time engine, advanced in lockstep with the schedule clock; the
@@ -117,6 +121,7 @@ func runPowerDownSchedule(o Options) pdRun {
 	pm := d.Device().Power()
 	meter := power.NewMeter(pm)
 	live := map[core.VMID]vmtrace.VM{}
+	var liveIDs []core.VMID // reused scratch for deterministic iteration
 	ei := 0
 	var rankSum float64
 	var intervals int
@@ -158,9 +163,16 @@ func runPowerDownSchedule(o Options) pdRun {
 			}
 		}
 
+		// Sum in VM-id order: float addition is not associative, so a map
+		// iteration here would let rounding differ between identical runs.
+		liveIDs = liveIDs[:0]
+		for id := range live {
+			liveIDs = append(liveIDs, id)
+		}
+		sort.Slice(liveIDs, func(i, j int) bool { return liveIDs[i] < liveIDs[j] })
 		var bw float64
-		for _, vm := range live {
-			bw += vmBandwidthGBs(vm)
+		for _, id := range liveIDs {
+			bw += vmBandwidthGBs(live[id])
 		}
 		bg := d.Device().BackgroundPowerNow()
 		migBytes := d.Stats().BytesMigrated
@@ -183,7 +195,14 @@ func runPowerDownSchedule(o Options) pdRun {
 		// Zero-data-loss check: every surviving VM's memory must still be
 		// addressable and readable (retired ranks were drained; a failed rank
 		// not yet drained still serves reads in degraded mode).
+		// Probe in VM-id order: Access has model side effects (SMC fills,
+		// self-refresh wakes), so map order here would leak into the trace.
+		liveIDs = liveIDs[:0]
 		for id := range live {
+			liveIDs = append(liveIDs, id)
+		}
+		sort.Slice(liveIDs, func(i, j int) bool { return liveIDs[i] < liveIDs[j] })
+		for _, id := range liveIDs {
 			addrs, err := d.VMAddresses(id)
 			if err != nil {
 				panic(err)

@@ -107,7 +107,10 @@ func runSelfRefresh(o Options, cfg srConfig) srRunResult {
 	if err != nil {
 		panic(err)
 	}
-	rt := o.telemetryFor(d, sim.Millisecond)
+	// Replay horizon, declared up front so telemetry can publish an ETA;
+	// the bandwidth reasoning lives at the replay loop below.
+	horizon := sim.Time(o.scaled(24_000_000, 8_000_000)) // 24ms / 8ms
+	rt := o.telemetryFor(d, sim.Millisecond, horizon)
 
 	// Six-workload mix (as in the paper's trace mixing), footprints
 	// rounded to the 2 GiB AU and summing to the allocation target.
@@ -158,7 +161,6 @@ func runSelfRefresh(o Options, cfg srConfig) srRunResult {
 	// The warm-up half of the horizon covers the iterative cold-set
 	// enrichment the paper reports as its 10-60 s warm-up.
 	const gapNs = 2
-	horizon := sim.Time(o.scaled(24_000_000, 8_000_000)) // 24ms / 8ms
 	warmup := horizon / 2
 	n := int(horizon / gapNs)
 

@@ -38,7 +38,7 @@ func Fig2(o Options) Result {
 		// claim compares it against the 8-rank baseline).
 		var rt *runTelemetry
 		if rk == 2 {
-			rt = o.telemetryForRegistry(telemetry.NewRegistry(), 100*sim.Microsecond)
+			rt = o.telemetryForRegistry(telemetry.NewRegistry(), 100*sim.Microsecond, 0)
 		}
 		st := replayController(g, true, cxl.NativeDRAMLatency, profiles, n, o.Seed, rt)
 		if err := rt.finish(st.endTime); err != nil {

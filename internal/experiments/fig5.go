@@ -31,7 +31,7 @@ func Fig5(o Options) Result {
 		// paper's operating point); the other three runs stay uninstrumented.
 		var rt *runTelemetry
 		if link.lat == cxl.CXLMemoryLatency {
-			rt = o.telemetryForRegistry(telemetry.NewRegistry(), 100*sim.Microsecond)
+			rt = o.telemetryForRegistry(telemetry.NewRegistry(), 100*sim.Microsecond, 0)
 		}
 		ri := replayController(g, true, link.lat, profiles, n, o.Seed, nil)
 		nori := replayController(g, false, link.lat, profiles, n, o.Seed, rt)

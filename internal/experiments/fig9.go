@@ -112,7 +112,7 @@ func fig9TraceReplay(o Options, profiles []trace.Profile, n int) {
 	if err != nil {
 		panic(err)
 	}
-	rt := o.telemetryFor(d, 10*sim.Microsecond)
+	rt := o.telemetryFor(d, 10*sim.Microsecond, 0)
 
 	alloc, err := d.AllocateVM(1, 0, foot, 0)
 	if err != nil {

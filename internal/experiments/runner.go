@@ -31,13 +31,18 @@ func RunAll(runners []Runner, opts Options, parallel int) []Result {
 	}
 	if parallel <= 1 || len(runners) <= 1 {
 		for i, r := range runners {
-			results[i] = r.Run(opts)
+			o := opts
+			o.watchExperiment = r.ID
+			results[i] = r.Run(o)
 		}
 		return results
 	}
 
+	// Watch joins the single-file sinks here: interleaved snapshots from
+	// concurrent experiments would make the dashboard meaningless.
 	opts.TracePath = ""
 	opts.MetricsPath = ""
+	opts.Watch = nil
 
 	bufs := make([]*bytes.Buffer, len(runners))
 	for i := range bufs {

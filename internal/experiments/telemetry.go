@@ -11,18 +11,27 @@ import (
 )
 
 // runTelemetry wires a metrics registry (and, for DTL-driven runs, the event
-// tracer) to the files requested in Options. A nil *runTelemetry is valid and
-// makes every method a no-op, so experiment loops call tick/finish
-// unconditionally and pay nothing when -trace/-metrics are off.
+// tracer and the -watch publisher) to the sinks requested in Options. A nil
+// *runTelemetry is valid and makes every method a no-op, so experiment loops
+// call tick/finish unconditionally and pay nothing when observability is off.
 type runTelemetry struct {
 	tracePath   string
 	metricsPath string
 
-	d    *core.DTL // nil for registry-only runs (no tracer source)
-	reg  *telemetry.Registry
-	tr   *telemetry.Tracer
-	eng  *sim.Engine
-	stop func()
+	d       *core.DTL // nil for registry-only runs (no tracer source)
+	reg     *telemetry.Registry
+	tr      *telemetry.Tracer
+	eng     *sim.Engine
+	stop    func()
+	horizon sim.Time // run horizon for watch ETA; 0 = unknown
+
+	// Chrome traces buffer in the tracer's ring and are written at finish;
+	// jsonl/csv traces stream record by record through traceStream.
+	traceFormat telemetry.TraceFormat
+	traceFile   *os.File
+	traceBuf    *bufio.Writer
+	traceStream *telemetry.TraceStream
+	traceErr    error // deferred os.Create failure, reported at finish
 
 	// Metrics stream to the CSV file as rows are sampled (O(1) memory over
 	// any horizon) rather than accumulating in the registry until finish.
@@ -30,15 +39,20 @@ type runTelemetry struct {
 	metricsBuf  *bufio.Writer
 	stream      *telemetry.StreamSampler
 	metricsErr  error // deferred os.Create failure, reported at finish
+
+	watch      chan WatchSnapshot
+	watchLabel string
 }
 
-// telemetryFor attaches tracing and periodic metrics sampling to d per the
-// Options, or returns nil when neither was requested. defaultPeriod is the
-// experiment's natural sampling granularity, used when the caller did not
-// set SamplePeriod explicitly (horizons range from milliseconds of replay
-// to six hours of schedule, so no single default fits all runs).
-func (o Options) telemetryFor(d *core.DTL, defaultPeriod sim.Time) *runTelemetry {
-	if o.TracePath == "" && o.MetricsPath == "" {
+// telemetryFor attaches tracing, periodic metrics sampling, and the watch
+// publisher to d per the Options, or returns nil when none was requested.
+// defaultPeriod is the experiment's natural sampling granularity, used when
+// the caller did not set SamplePeriod explicitly (horizons range from
+// milliseconds of replay to six hours of schedule, so no single default fits
+// all runs). horizon is the run end if the experiment knows it up front (for
+// the watch ETA); 0 means unknown.
+func (o Options) telemetryFor(d *core.DTL, defaultPeriod, horizon sim.Time) *runTelemetry {
+	if o.TracePath == "" && o.MetricsPath == "" && o.Watch == nil {
 		return nil
 	}
 	rt := &runTelemetry{
@@ -47,19 +61,40 @@ func (o Options) telemetryFor(d *core.DTL, defaultPeriod sim.Time) *runTelemetry
 		d:           d,
 		reg:         d.Registry(),
 		eng:         sim.NewEngine(),
+		horizon:     horizon,
+		watch:       o.Watch,
+		watchLabel:  o.watchExperiment,
 	}
 	if o.TracePath != "" {
 		rt.tr = d.StartTrace(0, 0)
+		rt.traceFormat = o.TraceFormat
+		if o.TraceFormat != telemetry.FormatChrome {
+			if f, err := os.Create(o.TracePath); err != nil {
+				rt.traceErr = err
+			} else {
+				rt.traceFile = f
+				rt.traceBuf = bufio.NewWriter(f)
+				ts, err := telemetry.NewTraceStream(rt.traceBuf, o.TraceFormat)
+				if err != nil {
+					rt.traceErr = err
+				} else {
+					rt.traceStream = ts
+					rt.tr.AttachStream(ts)
+				}
+			}
+		}
 	}
 	rt.startSampling(o, defaultPeriod)
+	rt.startWatch(o, defaultPeriod)
 	return rt
 }
 
 // telemetryForRegistry attaches periodic metrics sampling to a bare registry
 // for the experiments that have no DTL (fig1's schedule gauges, fig2/fig5's
-// raw controller replays). TracePath is ignored here: there is no tracer
-// source without a DTL, and Options documents which experiments honor it.
-func (o Options) telemetryForRegistry(reg *telemetry.Registry, defaultPeriod sim.Time) *runTelemetry {
+// raw controller replays). TracePath and Watch are ignored here: without a
+// DTL there is no tracer source and no rank strip to watch, and Options
+// documents which experiments honor them.
+func (o Options) telemetryForRegistry(reg *telemetry.Registry, defaultPeriod, horizon sim.Time) *runTelemetry {
 	if o.MetricsPath == "" {
 		return nil
 	}
@@ -67,18 +102,22 @@ func (o Options) telemetryForRegistry(reg *telemetry.Registry, defaultPeriod sim
 		metricsPath: o.MetricsPath,
 		reg:         reg,
 		eng:         sim.NewEngine(),
+		horizon:     horizon,
 	}
 	rt.startSampling(o, defaultPeriod)
 	return rt
 }
 
+func (o Options) period(defaultPeriod sim.Time) sim.Time {
+	if o.SamplePeriod > 0 {
+		return o.SamplePeriod
+	}
+	return defaultPeriod
+}
+
 func (rt *runTelemetry) startSampling(o Options, defaultPeriod sim.Time) {
 	if rt.metricsPath == "" {
 		return
-	}
-	period := o.SamplePeriod
-	if period <= 0 {
-		period = defaultPeriod
 	}
 	f, err := os.Create(rt.metricsPath)
 	if err != nil {
@@ -88,7 +127,19 @@ func (rt *runTelemetry) startSampling(o Options, defaultPeriod sim.Time) {
 	rt.metricsFile = f
 	rt.metricsBuf = bufio.NewWriter(f)
 	rt.stream = rt.reg.StreamTo(rt.metricsBuf)
-	rt.stop = rt.stream.Start(rt.eng, period)
+	rt.stop = rt.stream.Start(rt.eng, o.period(defaultPeriod))
+}
+
+// startWatch schedules snapshot publication at the sampling cadence. The
+// publisher runs on the sim goroutine (inside tick) and never blocks, so the
+// run is byte-identical with and without a watcher.
+func (rt *runTelemetry) startWatch(o Options, defaultPeriod sim.Time) {
+	if rt.watch == nil || rt.d == nil {
+		return
+	}
+	rt.eng.Every(o.period(defaultPeriod), func(now sim.Time) {
+		sendWatch(rt.watch, snapshotDTL(rt.d, rt.watchLabel, now, rt.horizon, false))
+	})
 }
 
 // tick advances the sampling clock to now, firing any due interval timers.
@@ -99,8 +150,8 @@ func (rt *runTelemetry) tick(now sim.Time) {
 	rt.eng.RunUntil(now)
 }
 
-// finish closes the trace at horizon, detaches it from the device, and
-// writes the requested output files.
+// finish closes the trace at horizon, detaches it from the device, writes the
+// requested output files, and publishes the final watch snapshot.
 func (rt *runTelemetry) finish(horizon sim.Time) error {
 	if rt == nil {
 		return nil
@@ -112,9 +163,13 @@ func (rt *runTelemetry) finish(horizon sim.Time) error {
 	if rt.tr != nil {
 		rt.tr.Finish(horizon)
 		rt.d.AttachTracer(nil)
-		if err := writeTo(rt.tracePath, func(f *os.File) error {
-			return telemetry.WriteChromeTrace(f, rt.tr)
-		}); err != nil {
+		if rt.traceFormat == telemetry.FormatChrome {
+			if err := writeTo(rt.tracePath, func(f *os.File) error {
+				return telemetry.WriteChromeTrace(f, rt.tr)
+			}); err != nil {
+				return fmt.Errorf("experiments: writing trace: %w", err)
+			}
+		} else if err := rt.closeTrace(); err != nil {
 			return fmt.Errorf("experiments: writing trace: %w", err)
 		}
 	}
@@ -123,7 +178,27 @@ func (rt *runTelemetry) finish(horizon sim.Time) error {
 			return fmt.Errorf("experiments: writing metrics: %w", err)
 		}
 	}
+	if rt.watch != nil && rt.d != nil {
+		sendWatch(rt.watch, snapshotDTL(rt.d, rt.watchLabel, horizon, rt.horizon, true))
+	}
 	return nil
+}
+
+// closeTrace finalizes a streamed jsonl/csv trace: the Finish-time span
+// closures have already been streamed, so only the buffer flush and the file
+// close remain. The first error anywhere in the chain wins.
+func (rt *runTelemetry) closeTrace() error {
+	if rt.traceErr != nil {
+		return rt.traceErr
+	}
+	err := rt.traceStream.Err()
+	if ferr := rt.traceBuf.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := rt.traceFile.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // closeMetrics finalizes the streamed CSV: the header is forced out even if
@@ -156,9 +231,11 @@ func writeTo(path string, fn func(*os.File) error) error {
 }
 
 // withoutTelemetry clears the telemetry outputs; used by experiments that
-// run the same schedule several times so only the headline run writes files.
+// run the same schedule several times so only the headline run writes files
+// (and only the headline run feeds the watch).
 func (o Options) withoutTelemetry() Options {
 	o.TracePath = ""
 	o.MetricsPath = ""
+	o.Watch = nil
 	return o
 }

@@ -117,7 +117,7 @@ func TestFig9TraceReplay(t *testing.T) {
 }
 
 func TestTelemetryDisabledIsNil(t *testing.T) {
-	if rt := quickOpts().telemetryFor(nil, 1); rt != nil {
+	if rt := quickOpts().telemetryFor(nil, 1, 0); rt != nil {
 		t.Fatal("telemetryFor without paths should return nil")
 	}
 	var rt *runTelemetry

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"dtl/internal/core"
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+// Live progress snapshots for `dtlsim -watch`. The sim goroutine publishes a
+// WatchSnapshot on the Options.Watch channel at every sampling tick; the
+// renderer (cmd/dtlsim) owns the terminal. Publishing never blocks the sim —
+// sendWatch coalesces by replacing a stale undelivered snapshot with the
+// fresh one — so runs are byte-identical with and without a watcher, and a
+// slow terminal can never stall virtual time.
+
+// WatchRank is one rank's position in the power-state strip.
+type WatchRank struct {
+	Rank  int    // global rank id (tracer numbering: rank*channels + channel)
+	Name  string // "ch0/rk3"
+	State string // "standby", "self-refresh", "mpsm", or "retired"
+}
+
+// WatchSnapshot is one observation of a running experiment.
+type WatchSnapshot struct {
+	Experiment string   // runner id ("fig12"); stamped by RunAll
+	Now        sim.Time // virtual time of the snapshot
+	Horizon    sim.Time // run horizon; 0 when the experiment cannot know it
+
+	Ranks []WatchRank // power-state strip, in global-rank order
+
+	// Rolling counters, cumulative since the run started.
+	Migrations int64 // segments migrated (drains, swaps, retirement drains)
+	Wakes      int64 // self-refresh exits forced by foreground accesses
+	Faults     int64 // device fault reports seen by the health monitor
+	Retired    int   // ranks permanently offline
+
+	Done bool // final snapshot, published as the run finishes
+}
+
+// snapshotDTL reads one WatchSnapshot off the live device. Counter reads go
+// through the registry (Counter is get-or-create, and all of these exist from
+// DTL construction), so the snapshot needs no hooks inside the model.
+func snapshotDTL(d *core.DTL, label string, now, horizon sim.Time, done bool) WatchSnapshot {
+	g := d.Config().Geometry
+	reg := d.Registry()
+
+	retired := map[dram.RankID]bool{}
+	for _, id := range d.RetiredRanks() {
+		retired[id] = true
+	}
+
+	snap := WatchSnapshot{
+		Experiment: label,
+		Now:        now,
+		Horizon:    horizon,
+		Ranks:      make([]WatchRank, 0, g.TotalRanks()),
+		Migrations: reg.Counter("core.migration.segments_migrated").Value(),
+		Wakes:      reg.Counter("core.selfrefresh.exits").Value(),
+		Faults:     reg.Counter("core.health.fault_events").Value(),
+		Retired:    len(retired),
+		Done:       done,
+	}
+	// Global-rank order matches the tracer: rank*Channels + channel.
+	for rk := 0; rk < g.RanksPerChannel; rk++ {
+		for ch := 0; ch < g.Channels; ch++ {
+			id := dram.RankID{Channel: ch, Rank: rk}
+			state := d.Device().State(id).String()
+			if retired[id] {
+				state = "retired"
+			}
+			snap.Ranks = append(snap.Ranks, WatchRank{
+				Rank:  rk*g.Channels + ch,
+				Name:  id.String(),
+				State: state,
+			})
+		}
+	}
+	return snap
+}
+
+// sendWatch delivers snap without ever blocking: if the channel is full the
+// stale queued snapshot is dropped in favor of the fresh one. With the cap-1
+// channel dtlsim creates, the renderer always reads the newest state.
+func sendWatch(ch chan WatchSnapshot, snap WatchSnapshot) {
+	for {
+		select {
+		case ch <- snap:
+			return
+		default:
+		}
+		select {
+		case <-ch: // evict the stale snapshot
+		default:
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dtl/internal/telemetry"
+)
+
+// TestFig12StreamedJSONLMatchesChromeTrace: the streamed JSONL sink and the
+// batch Chrome sink are two encodings of one deterministic run, so their
+// summaries must agree exactly — this is the contract `dtlstat read` relies
+// on to reproduce the live residency summary from a streamed trace.
+func TestFig12StreamedJSONLMatchesChromeTrace(t *testing.T) {
+	dir := t.TempDir()
+
+	chromeOpts := quickOpts()
+	chromeOpts.TracePath = filepath.Join(dir, "t.json")
+	runPowerDownSchedule(chromeOpts)
+	chrome := summarizeTraceFile(t, chromeOpts.TracePath)
+
+	jsonlOpts := quickOpts()
+	jsonlOpts.TracePath = filepath.Join(dir, "t.jsonl")
+	jsonlOpts.TraceFormat = telemetry.FormatJSONL
+	runPowerDownSchedule(jsonlOpts)
+
+	f, err := os.Open(jsonlOpts.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	jsonl, err := telemetry.SummarizeTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ranks := chrome.Ranks()
+	if got := jsonl.Ranks(); len(got) != len(ranks) {
+		t.Fatalf("jsonl has %d ranks, chrome %d", len(got), len(ranks))
+	}
+	for _, rank := range ranks {
+		for _, state := range chrome.States() {
+			a, b := chrome.Residency[rank][state], jsonl.Residency[rank][state]
+			if a != b {
+				t.Errorf("rank %d %s: chrome %v us, jsonl %v us", rank, state, a, b)
+			}
+		}
+		if chrome.RankLabel(rank) != jsonl.RankLabel(rank) {
+			t.Errorf("rank %d label: %q vs %q", rank, chrome.RankLabel(rank), jsonl.RankLabel(rank))
+		}
+	}
+	// Point events and migrations: the chrome export reads the tracer's ring
+	// and loses the oldest records once the run overflows it; the streamed
+	// JSONL kept every record. So the stream must carry at least as many
+	// migrations — usually strictly more on this schedule.
+	if len(jsonl.MigrationsUs) < len(chrome.MigrationsUs) {
+		t.Errorf("streamed trace lost migrations: jsonl %d < chrome %d",
+			len(jsonl.MigrationsUs), len(chrome.MigrationsUs))
+	}
+	// Residency and the energy proxy ride on power spans, which both sinks
+	// keep exactly: the diff is zero at the tightest band.
+	d := telemetry.DiffSummaries(chrome, jsonl)
+	if bad := d.Check(telemetry.DiffTolerance{Share: 1e-9, EnergyFrac: 1e-9}); len(bad) != 0 {
+		t.Fatalf("same run, two encodings, nonzero residency diff: %v", bad)
+	}
+}
+
+// drainWatch collects every snapshot until the channel is closed.
+func drainWatch(ch chan WatchSnapshot) (func() []WatchSnapshot, *sync.WaitGroup) {
+	var mu sync.Mutex
+	var snaps []WatchSnapshot
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for s := range ch {
+			mu.Lock()
+			snaps = append(snaps, s)
+			mu.Unlock()
+		}
+	}()
+	return func() []WatchSnapshot {
+		mu.Lock()
+		defer mu.Unlock()
+		return snaps
+	}, &wg
+}
+
+// TestFig12WatchSnapshots: a watched run publishes well-formed snapshots
+// (full rank strip, valid states, monotone clock, final Done) and produces a
+// byte-identical report to an unwatched run — watching is pure observation.
+func TestFig12WatchSnapshots(t *testing.T) {
+	var plain bytes.Buffer
+	o := quickOpts()
+	o.Out = &plain
+	runPowerDownSchedule(o)
+
+	var watched bytes.Buffer
+	ow := quickOpts()
+	ow.Out = &watched
+	ow.Watch = make(chan WatchSnapshot, 1)
+	collect, wg := drainWatch(ow.Watch)
+	run := runPowerDownSchedule(ow)
+	close(ow.Watch)
+	wg.Wait()
+
+	if !bytes.Equal(plain.Bytes(), watched.Bytes()) {
+		t.Fatal("report bytes differ between watched and unwatched runs")
+	}
+
+	snaps := collect()
+	if len(snaps) == 0 {
+		t.Fatal("no watch snapshots published")
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Done {
+		t.Fatalf("last snapshot not Done: %+v", last)
+	}
+	if last.Now != run.horizon || last.Horizon != run.horizon {
+		t.Fatalf("final snapshot at %v/%v, want horizon %v", last.Now, last.Horizon, run.horizon)
+	}
+
+	wantRanks := pdGeometry().TotalRanks()
+	valid := map[string]bool{"standby": true, "self-refresh": true, "mpsm": true, "retired": true}
+	var prev WatchSnapshot
+	for i, s := range snaps {
+		if len(s.Ranks) != wantRanks {
+			t.Fatalf("snapshot %d has %d ranks, want %d", i, len(s.Ranks), wantRanks)
+		}
+		for _, r := range s.Ranks {
+			if !valid[r.State] {
+				t.Fatalf("snapshot %d rank %s in unknown state %q", i, r.Name, r.State)
+			}
+		}
+		if i > 0 {
+			if s.Now < prev.Now {
+				t.Fatalf("snapshot clock went backwards: %v after %v", s.Now, prev.Now)
+			}
+			if s.Migrations < prev.Migrations || s.Faults < prev.Faults {
+				t.Fatalf("rolling counters went backwards at snapshot %d", i)
+			}
+		}
+		prev = s
+	}
+	// The power-down schedule must show some rank leaving standby.
+	saw := false
+	for _, r := range last.Ranks {
+		if r.State == "mpsm" || r.State == "self-refresh" {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("no rank ever left standby in a power-down schedule")
+	}
+}
+
+// TestFaultsRunMetricsCSVStaysRectangular is the faults-experiment streaming
+// contract: ranks retiring mid-run must not disturb the metrics CSV — the
+// column set is fixed at header time, every row matches it, and no metric is
+// registered late (which Finish would reject).
+func TestFaultsRunMetricsCSVStaysRectangular(t *testing.T) {
+	dir := t.TempDir()
+	o := quickOpts()
+	o.MetricsPath = filepath.Join(dir, "m.csv")
+	o.FaultSpec = defaultFaultSpec(o.Seed)
+
+	run := runPowerDownSchedule(o)
+	if run.retiredRanks == 0 {
+		t.Fatal("fault spec retired no ranks; the mid-stream retirement case is untested")
+	}
+
+	data, err := os.ReadFile(o.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("metrics CSV has only %d lines", len(lines))
+	}
+	cols := strings.Count(lines[0], ",")
+	for i, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != cols {
+			t.Fatalf("row %d has %d separators, header has %d:\n%s", i+1, got, cols, l)
+		}
+	}
+	// Retirement shows up as data movement in the fixed columns, not as new
+	// columns: the retired-ranks counter was registered at construction.
+	if !strings.Contains(lines[0], "core.ranks_retired") {
+		t.Fatalf("header missing core.ranks_retired: %s", lines[0])
+	}
+}

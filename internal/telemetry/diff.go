@@ -1,0 +1,302 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"dtl/internal/metrics"
+)
+
+// Summary comparison: the model behind `dtlstat diff`. Two runs of the same
+// experiment are compared on the quantities the paper's evaluation argues
+// about — power-state residency shares, migration-latency percentiles, and
+// a residency-weighted background-energy proxy — with tolerance bands so a
+// policy change can be reviewed (or CI-gated) in one command.
+
+// DefaultStateWeights returns the Table 2 normalized background power per
+// state (mirroring dram.DefaultPowerModel), used by EnergyProxy. States a
+// trace names that are absent here weigh 1.0 (standby-equivalent), so an
+// unknown state can only make the proxy pessimistic, never hide energy.
+func DefaultStateWeights() map[string]float64 {
+	return map[string]float64{
+		"standby":      1.0,
+		"self-refresh": 0.2,
+		"mpsm":         0.068,
+	}
+}
+
+// EnergyProxy folds residency into a background-energy figure (weight ×
+// microseconds, summed over every rank and state) using the given per-state
+// power weights (nil selects DefaultStateWeights). It deliberately excludes
+// active and migration energy — those need the power meter — but tracks
+// exactly the background component the power-down and self-refresh engines
+// optimize, which is what a residency trace can support.
+func (s *TraceSummary) EnergyProxy(weights map[string]float64) float64 {
+	if weights == nil {
+		weights = DefaultStateWeights()
+	}
+	var total float64
+	for _, states := range s.Residency {
+		for name, us := range states {
+			w, ok := weights[name]
+			if !ok {
+				w = 1.0
+			}
+			total += w * us
+		}
+	}
+	return total
+}
+
+// DiffTolerance bounds the acceptable drift between two summaries. Zero
+// values disable the corresponding check.
+type DiffTolerance struct {
+	// Share is the maximum absolute drift of any state's residency share,
+	// aggregate and per-rank (e.g. 0.05 = five percentage points).
+	Share float64
+	// LatFrac is the maximum relative shift of any migration-latency
+	// percentile (P50/P95/P99), e.g. 0.25 = 25%.
+	LatFrac float64
+	// EnergyFrac is the maximum relative drift of the energy proxy.
+	EnergyFrac float64
+}
+
+// ShareDelta is one state's residency share in both runs.
+type ShareDelta struct {
+	State string
+	A, B  float64 // shares in [0, 1]
+}
+
+// Delta is B - A.
+func (d ShareDelta) Delta() float64 { return d.B - d.A }
+
+// RankDiff is one rank's per-state share deltas.
+type RankDiff struct {
+	Rank   int
+	Label  string
+	Shares []ShareDelta
+}
+
+// PercentileDelta is one migration-latency percentile in both runs.
+type PercentileDelta struct {
+	Name string  // "P50", "P95", "P99"
+	A, B float64 // microseconds
+}
+
+// Shift reports the relative change (B-A)/A, or 0 when both are zero.
+func (d PercentileDelta) Shift() float64 {
+	if d.A == 0 {
+		if d.B == 0 {
+			return 0
+		}
+		return 1 // appeared from nothing: treat as a full shift
+	}
+	return (d.B - d.A) / d.A
+}
+
+// SummaryDiff is the structured comparison of two trace summaries.
+type SummaryDiff struct {
+	States    []string     // union of state names, sorted
+	Aggregate []ShareDelta // device-wide shares per state
+	Ranks     []RankDiff   // per-rank shares, sorted by rank id
+
+	// RanksOnlyA / RanksOnlyB list ranks present in one summary only (a
+	// geometry mismatch; always a violation when non-empty).
+	RanksOnlyA, RanksOnlyB []int
+
+	MigrationsA, MigrationsB int
+	Percentiles              []PercentileDelta // set when either run migrated
+
+	EnergyA, EnergyB float64 // EnergyProxy of each run
+
+	// Points maps event name → [countA, countB] for the instant events.
+	Points map[string][2]int
+}
+
+// aggregateShares computes device-wide residency share per state.
+func aggregateShares(s *TraceSummary, states []string) map[string]float64 {
+	var total float64
+	sums := map[string]float64{}
+	for _, rank := range s.Ranks() {
+		for _, st := range states {
+			sums[st] += s.Residency[rank][st]
+		}
+		total += s.RankDuration(rank)
+	}
+	out := make(map[string]float64, len(sums))
+	for st, us := range sums {
+		if total > 0 {
+			out[st] = us / total
+		}
+	}
+	return out
+}
+
+func rankShares(s *TraceSummary, rank int, states []string) map[string]float64 {
+	total := s.RankDuration(rank)
+	out := make(map[string]float64, len(states))
+	for _, st := range states {
+		if total > 0 {
+			out[st] = s.Residency[rank][st] / total
+		}
+	}
+	return out
+}
+
+// DiffSummaries compares two summaries (A is the baseline, B the candidate)
+// into a SummaryDiff; apply tolerances with Check.
+func DiffSummaries(a, b *TraceSummary) *SummaryDiff {
+	stateSet := map[string]bool{}
+	for _, st := range a.States() {
+		stateSet[st] = true
+	}
+	for _, st := range b.States() {
+		stateSet[st] = true
+	}
+	states := make([]string, 0, len(stateSet))
+	for st := range stateSet {
+		states = append(states, st)
+	}
+	sort.Strings(states)
+
+	d := &SummaryDiff{
+		States:      states,
+		MigrationsA: len(a.MigrationsUs),
+		MigrationsB: len(b.MigrationsUs),
+		EnergyA:     a.EnergyProxy(nil),
+		EnergyB:     b.EnergyProxy(nil),
+		Points:      map[string][2]int{},
+	}
+
+	aggA, aggB := aggregateShares(a, states), aggregateShares(b, states)
+	for _, st := range states {
+		d.Aggregate = append(d.Aggregate, ShareDelta{State: st, A: aggA[st], B: aggB[st]})
+	}
+
+	ranksA, ranksB := a.Ranks(), b.Ranks()
+	inA := map[int]bool{}
+	for _, r := range ranksA {
+		inA[r] = true
+	}
+	inB := map[int]bool{}
+	for _, r := range ranksB {
+		inB[r] = true
+	}
+	for _, r := range ranksA {
+		if !inB[r] {
+			d.RanksOnlyA = append(d.RanksOnlyA, r)
+		}
+	}
+	for _, r := range ranksB {
+		if !inA[r] {
+			d.RanksOnlyB = append(d.RanksOnlyB, r)
+		}
+	}
+	for _, r := range ranksA {
+		if !inB[r] {
+			continue
+		}
+		shA, shB := rankShares(a, r, states), rankShares(b, r, states)
+		rd := RankDiff{Rank: r, Label: a.RankLabel(r)}
+		for _, st := range states {
+			rd.Shares = append(rd.Shares, ShareDelta{State: st, A: shA[st], B: shB[st]})
+		}
+		d.Ranks = append(d.Ranks, rd)
+	}
+
+	if len(a.MigrationsUs) > 0 || len(b.MigrationsUs) > 0 {
+		sumA := metrics.Summarize(a.MigrationsUs)
+		sumB := metrics.Summarize(b.MigrationsUs)
+		d.Percentiles = []PercentileDelta{
+			{Name: "P50", A: sumA.P50, B: sumB.P50},
+			{Name: "P95", A: sumA.P95, B: sumB.P95},
+			{Name: "P99", A: sumA.P99, B: sumB.P99},
+		}
+	}
+
+	nameSet := map[string]bool{}
+	for n := range a.Points {
+		nameSet[n] = true
+	}
+	for n := range b.Points {
+		nameSet[n] = true
+	}
+	for n := range nameSet {
+		d.Points[n] = [2]int{a.Points[n], b.Points[n]}
+	}
+	return d
+}
+
+// EnergyDelta is the relative energy-proxy change (B-A)/A.
+func (d *SummaryDiff) EnergyDelta() float64 {
+	if d.EnergyA == 0 {
+		if d.EnergyB == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (d.EnergyB - d.EnergyA) / d.EnergyA
+}
+
+// WorstRankShare finds the largest absolute per-rank share drift for one
+// state; ok is false when no rank is shared between the summaries.
+func (d *SummaryDiff) WorstRankShare(state string) (RankDiff, ShareDelta, bool) {
+	var worstRank RankDiff
+	var worst ShareDelta
+	found := false
+	for _, rd := range d.Ranks {
+		for _, sh := range rd.Shares {
+			if sh.State != state {
+				continue
+			}
+			if !found || abs(sh.Delta()) > abs(worst.Delta()) {
+				worstRank, worst, found = rd, sh, true
+			}
+		}
+	}
+	return worstRank, worst, found
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Check applies the tolerance bands and returns one human-readable string
+// per violation (empty = the candidate is within band).
+func (d *SummaryDiff) Check(tol DiffTolerance) []string {
+	var bad []string
+	if len(d.RanksOnlyA) > 0 || len(d.RanksOnlyB) > 0 {
+		bad = append(bad, fmt.Sprintf("rank sets differ: %d only in A, %d only in B",
+			len(d.RanksOnlyA), len(d.RanksOnlyB)))
+	}
+	if tol.Share > 0 {
+		for _, sh := range d.Aggregate {
+			if abs(sh.Delta()) > tol.Share {
+				bad = append(bad, fmt.Sprintf("aggregate %s share drift %+.3f exceeds ±%.3f",
+					sh.State, sh.Delta(), tol.Share))
+			}
+		}
+		for _, st := range d.States {
+			if rd, sh, ok := d.WorstRankShare(st); ok && abs(sh.Delta()) > tol.Share {
+				bad = append(bad, fmt.Sprintf("rank %s %s share drift %+.3f exceeds ±%.3f",
+					rd.Label, st, sh.Delta(), tol.Share))
+			}
+		}
+	}
+	if tol.LatFrac > 0 {
+		for _, p := range d.Percentiles {
+			if abs(p.Shift()) > tol.LatFrac {
+				bad = append(bad, fmt.Sprintf("migration %s shift %+.1f%% exceeds ±%.1f%%",
+					p.Name, 100*p.Shift(), 100*tol.LatFrac))
+			}
+		}
+	}
+	if tol.EnergyFrac > 0 && abs(d.EnergyDelta()) > tol.EnergyFrac {
+		bad = append(bad, fmt.Sprintf("energy proxy drift %+.2f%% exceeds ±%.2f%%",
+			100*d.EnergyDelta(), 100*tol.EnergyFrac))
+	}
+	return bad
+}

@@ -2,10 +2,12 @@ package telemetry
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"dtl/internal/sim"
@@ -22,6 +24,50 @@ const (
 	// pointTid is the thread carrying instant events (SMC misses, scrubs...).
 	pointTid = 20000
 )
+
+// TraceFormat selects the on-disk encoding of an exported trace.
+type TraceFormat uint8
+
+const (
+	// FormatChrome is Chrome trace_event JSON (one document, microsecond
+	// timestamps); it opens directly in Perfetto but cannot stream.
+	FormatChrome TraceFormat = iota
+	// FormatJSONL is JSON Lines: one flat record per power span or event,
+	// integer-nanosecond timestamps, grep/jq-friendly, streamed as the run
+	// progresses.
+	FormatJSONL
+	// FormatCSV is the flat events CSV with a leading record-type column,
+	// also streamed as the run progresses.
+	FormatCSV
+)
+
+// String names the format as the -trace-format flag spells it.
+func (f TraceFormat) String() string {
+	switch f {
+	case FormatChrome:
+		return "chrome"
+	case FormatJSONL:
+		return "jsonl"
+	case FormatCSV:
+		return "csv"
+	default:
+		return fmt.Sprintf("TraceFormat(%d)", int(f))
+	}
+}
+
+// ParseTraceFormat parses a -trace-format flag value.
+func ParseTraceFormat(s string) (TraceFormat, error) {
+	switch s {
+	case "", "chrome":
+		return FormatChrome, nil
+	case "jsonl":
+		return FormatJSONL, nil
+	case "csv":
+		return FormatCSV, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown trace format %q (want chrome, jsonl or csv)", s)
+	}
+}
 
 // chromeEvent is one trace_event record. Ts and Dur are microseconds, per
 // the trace_event format.
@@ -129,52 +175,147 @@ func pointArgs(ev Event) map[string]any {
 	return args
 }
 
+// Row renderers shared by the batch writers (WriteJSONL, WriteEventsCSV) and
+// the streaming TraceStream sink. Rows are appended to a caller-owned buffer
+// (the StreamSampler discipline), so the per-event cost on the streaming
+// path is an append-and-write with no allocation once the buffer has grown.
+//
+// The record schema is stable and documented in DESIGN.md §8:
+//
+//	power      type, rank, rank_name, state, start_ns, end_ns
+//	migration  type, at_ns, dur_ns, channel, src, dst, reason
+//	wake       type, at_ns, dur_ns (exit penalty), rank
+//	smc_miss   type, at_ns
+//	scrub      type, at_ns, segments
+//	fault      type, at_ns, rank, count, reason (fault class)
+//	ecc_storm  type, at_ns, rank, count (bucket level)
+//	retire     type, at_ns, rank, reason (cause)
+//	retire_deferred  type, at_ns, dur_ns (backoff), rank, reason
+//
+// Absent fields are omitted in JSONL and empty in CSV.
+
+func appendJSONField(buf []byte, name string, v int64) []byte {
+	buf = append(buf, ',', '"')
+	buf = append(buf, name...)
+	buf = append(buf, '"', ':')
+	return strconv.AppendInt(buf, v, 10)
+}
+
+func appendJSONStringField(buf []byte, name, v string) []byte {
+	buf = append(buf, ',', '"')
+	buf = append(buf, name...)
+	buf = append(buf, '"', ':')
+	return strconv.AppendQuote(buf, v)
+}
+
+// appendPowerJSONL renders one power span as a JSONL record.
+func appendPowerJSONL(buf []byte, rankName, stateName string, s PowerSpan) []byte {
+	buf = append(buf, `{"type":"power"`...)
+	buf = appendJSONField(buf, "rank", int64(s.Rank))
+	buf = appendJSONStringField(buf, "rank_name", rankName)
+	buf = appendJSONStringField(buf, "state", stateName)
+	buf = appendJSONField(buf, "start_ns", int64(s.Start))
+	buf = appendJSONField(buf, "end_ns", int64(s.End))
+	return append(buf, '}', '\n')
+}
+
+// appendEventJSONL renders one structured event as a JSONL record.
+func appendEventJSONL(buf []byte, ev Event) []byte {
+	buf = append(buf, `{"type":`...)
+	buf = strconv.AppendQuote(buf, ev.Kind.String())
+	buf = appendJSONField(buf, "at_ns", int64(ev.At))
+	if ev.Dur != 0 {
+		buf = appendJSONField(buf, "dur_ns", int64(ev.Dur))
+	}
+	if ev.Rank >= 0 {
+		buf = appendJSONField(buf, "rank", int64(ev.Rank))
+	}
+	if ev.Channel >= 0 {
+		buf = appendJSONField(buf, "channel", int64(ev.Channel))
+	}
+	switch ev.Kind {
+	case EvMigration:
+		buf = appendJSONField(buf, "src", ev.Src)
+		buf = appendJSONField(buf, "dst", ev.Dst)
+	case EvScrub:
+		buf = appendJSONField(buf, "segments", ev.Src)
+	case EvFault, EvStorm:
+		buf = appendJSONField(buf, "count", ev.Src)
+	}
+	if ev.Reason != "" {
+		buf = appendJSONStringField(buf, "reason", ev.Reason)
+	}
+	return append(buf, '}', '\n')
+}
+
+// eventsCSVHeader is the fixed column set of the events-CSV format.
+const eventsCSVHeader = "record,at_ns,dur_ns,rank,channel,state_or_reason,src,dst\n"
+
+// appendPowerCSV renders one power span as an events-CSV row. at_ns is the
+// span start and dur_ns its length.
+func appendPowerCSV(buf []byte, stateName string, s PowerSpan) []byte {
+	buf = append(buf, "power,"...)
+	buf = strconv.AppendInt(buf, int64(s.Start), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(s.Duration()), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(s.Rank), 10)
+	buf = append(buf, ',', ',')
+	buf = append(buf, csvSafe(stateName)...)
+	return append(buf, ',', ',', '\n')
+}
+
+// appendEventCSV renders one structured event as an events-CSV row.
+func appendEventCSV(buf []byte, ev Event) []byte {
+	buf = append(buf, ev.Kind.String()...)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(ev.At), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(ev.Dur), 10)
+	buf = append(buf, ',')
+	if ev.Rank >= 0 {
+		buf = strconv.AppendInt(buf, int64(ev.Rank), 10)
+	}
+	buf = append(buf, ',')
+	if ev.Channel >= 0 {
+		buf = strconv.AppendInt(buf, int64(ev.Channel), 10)
+	}
+	buf = append(buf, ',')
+	buf = append(buf, csvSafe(ev.Reason)...)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, ev.Src, 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, ev.Dst, 10)
+	return append(buf, '\n')
+}
+
+// csvSafe neutralizes the field separator inside free-text tags.
+func csvSafe(s string) string {
+	if !strings.ContainsRune(s, ',') {
+		return s
+	}
+	return strings.ReplaceAll(s, ",", ";")
+}
+
 // WriteJSONL exports the tracer as JSON Lines: one record per power span
 // (type "power") followed by one per retained event (type by kind). Times
-// are integer nanoseconds.
+// are integer nanoseconds; the schema matches the streaming TraceStream
+// sink record for record.
 func WriteJSONL(w io.Writer, t *Tracer) error {
 	if t == nil {
 		return fmt.Errorf("telemetry: nil tracer")
 	}
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	var buf []byte
 	for _, s := range t.PowerSpans() {
-		rec := map[string]any{
-			"type": "power", "rank": s.Rank, "rank_name": t.RankName(s.Rank),
-			"state": t.StateName(s.State), "start_ns": int64(s.Start), "end_ns": int64(s.End),
-		}
-		if err := enc.Encode(rec); err != nil {
+		buf = appendPowerJSONL(buf[:0], t.RankName(s.Rank), t.StateName(s.State), s)
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
 	for _, ev := range t.Events() {
-		rec := map[string]any{
-			"type": ev.Kind.String(), "at_ns": int64(ev.At),
-		}
-		if ev.Dur != 0 {
-			rec["dur_ns"] = int64(ev.Dur)
-		}
-		if ev.Rank >= 0 {
-			rec["rank"] = ev.Rank
-		}
-		if ev.Channel >= 0 {
-			rec["channel"] = ev.Channel
-		}
-		if ev.Kind == EvMigration {
-			rec["src"] = ev.Src
-			rec["dst"] = ev.Dst
-			rec["reason"] = ev.Reason
-		}
-		if ev.Kind == EvScrub {
-			rec["segments"] = ev.Src
-		}
-		if ev.Kind == EvFault || ev.Kind == EvStorm {
-			rec["count"] = ev.Src
-		}
-		if ev.Kind != EvMigration && ev.Reason != "" {
-			rec["reason"] = ev.Reason
-		}
-		if err := enc.Encode(rec); err != nil {
+		buf = appendEventJSONL(buf[:0], ev)
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
@@ -182,38 +323,39 @@ func WriteJSONL(w io.Writer, t *Tracer) error {
 }
 
 // WriteEventsCSV exports power spans and events as flat CSV with a leading
-// record-type column, for spreadsheet-style analysis.
+// record-type column, for spreadsheet-style analysis. The schema matches the
+// streaming TraceStream sink.
 func WriteEventsCSV(w io.Writer, t *Tracer) error {
 	if t == nil {
 		return fmt.Errorf("telemetry: nil tracer")
 	}
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "record,at_ns,dur_ns,rank,channel,state_or_reason,src,dst")
+	if _, err := io.WriteString(bw, eventsCSVHeader); err != nil {
+		return err
+	}
+	var buf []byte
 	for _, s := range t.PowerSpans() {
-		fmt.Fprintf(bw, "power,%d,%d,%d,,%s,,\n",
-			int64(s.Start), int64(s.Duration()), s.Rank, t.StateName(s.State))
+		buf = appendPowerCSV(buf[:0], t.StateName(s.State), s)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
 	}
 	for _, ev := range t.Events() {
-		rank, ch := "", ""
-		if ev.Rank >= 0 {
-			rank = fmt.Sprintf("%d", ev.Rank)
+		buf = appendEventCSV(buf[:0], ev)
+		if _, err := bw.Write(buf); err != nil {
+			return err
 		}
-		if ev.Channel >= 0 {
-			ch = fmt.Sprintf("%d", ev.Channel)
-		}
-		fmt.Fprintf(bw, "%s,%d,%d,%s,%s,%s,%d,%d\n",
-			ev.Kind, int64(ev.At), int64(ev.Dur), rank, ch,
-			strings.ReplaceAll(ev.Reason, ",", ";"), ev.Src, ev.Dst)
 	}
 	return bw.Flush()
 }
 
-// TraceSummary is the decoded aggregate view of a Chrome trace file, as
-// produced by WriteChromeTrace and consumed by cmd/dtlstat.
+// TraceSummary is the decoded aggregate view of a trace file, produced by
+// the Summarize* readers from any trace format and consumed by cmd/dtlstat.
 type TraceSummary struct {
-	// RankNames maps a power-thread tid (== global rank) to its name.
+	// RankNames maps a global rank id to its name ("ch0/rk3"); absent for
+	// formats that do not carry names (events CSV).
 	RankNames map[int]string
-	// Residency maps rank tid → state name → total microseconds.
+	// Residency maps rank → state name → total microseconds.
 	Residency map[int]map[string]float64
 	// MigrationsUs lists every migration span duration in microseconds.
 	MigrationsUs []float64
@@ -221,6 +363,24 @@ type TraceSummary struct {
 	MigrationReasons map[string]int
 	// Points counts instant events by name.
 	Points map[string]int
+}
+
+func newTraceSummary() *TraceSummary {
+	return &TraceSummary{
+		RankNames:        map[int]string{},
+		Residency:        map[int]map[string]float64{},
+		MigrationReasons: map[string]int{},
+		Points:           map[string]int{},
+	}
+}
+
+func (s *TraceSummary) addResidency(rank int, state string, us float64) {
+	m := s.Residency[rank]
+	if m == nil {
+		m = map[string]float64{}
+		s.Residency[rank] = m
+	}
+	m[state] += us
 }
 
 // States lists every state name seen, sorted for stable rendering.
@@ -239,6 +399,16 @@ func (s *TraceSummary) States() []string {
 	return out
 }
 
+// Ranks lists every rank id seen, sorted.
+func (s *TraceSummary) Ranks() []int {
+	out := make([]int, 0, len(s.Residency))
+	for rank := range s.Residency {
+		out = append(out, rank)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // RankDuration sums all state residencies of one rank (the traced run
 // duration, by the span-partition invariant).
 func (s *TraceSummary) RankDuration(rank int) float64 {
@@ -249,6 +419,15 @@ func (s *TraceSummary) RankDuration(rank int) float64 {
 	return total
 }
 
+// RankLabel prefers the recorded rank name ("ch0/rk3"); falls back to the
+// numeric id.
+func (s *TraceSummary) RankLabel(rank int) string {
+	if name, ok := s.RankNames[rank]; ok && name != "" {
+		return name
+	}
+	return fmt.Sprintf("rk%d", rank)
+}
+
 // SummarizeChromeTrace parses a Chrome trace_event JSON stream produced by
 // WriteChromeTrace back into per-rank power residency and migration-latency
 // samples.
@@ -257,12 +436,7 @@ func SummarizeChromeTrace(r io.Reader) (*TraceSummary, error) {
 	if err := json.NewDecoder(r).Decode(&tr); err != nil {
 		return nil, fmt.Errorf("telemetry: parsing trace: %w", err)
 	}
-	s := &TraceSummary{
-		RankNames:        map[int]string{},
-		Residency:        map[int]map[string]float64{},
-		MigrationReasons: map[string]int{},
-		Points:           map[string]int{},
-	}
+	s := newTraceSummary()
 	for _, ev := range tr.TraceEvents {
 		switch {
 		case ev.Ph == "M" && ev.Name == "thread_name" && ev.Tid < migrationTidBase:
@@ -270,12 +444,7 @@ func SummarizeChromeTrace(r io.Reader) (*TraceSummary, error) {
 				s.RankNames[ev.Tid] = strings.TrimPrefix(name, "power ")
 			}
 		case ev.Ph == "X" && ev.Cat == "power":
-			m := s.Residency[ev.Tid]
-			if m == nil {
-				m = map[string]float64{}
-				s.Residency[ev.Tid] = m
-			}
-			m[ev.Name] += ev.Dur
+			s.addResidency(ev.Tid, ev.Name, ev.Dur)
 		case ev.Ph == "X" && ev.Cat == "migration":
 			s.MigrationsUs = append(s.MigrationsUs, ev.Dur)
 			if reason, ok := ev.Args["reason"].(string); ok {
@@ -286,4 +455,145 @@ func SummarizeChromeTrace(r io.Reader) (*TraceSummary, error) {
 		}
 	}
 	return s, nil
+}
+
+// jsonlRecord is the decoded form of one JSONL trace line (the schema the
+// appenders above produce). Pointer fields distinguish absent from zero.
+type jsonlRecord struct {
+	Type     string `json:"type"`
+	Rank     *int   `json:"rank"`
+	RankName string `json:"rank_name"`
+	State    string `json:"state"`
+	StartNs  int64  `json:"start_ns"`
+	EndNs    int64  `json:"end_ns"`
+	AtNs     int64  `json:"at_ns"`
+	DurNs    int64  `json:"dur_ns"`
+	Channel  *int   `json:"channel"`
+	Reason   string `json:"reason"`
+}
+
+// SummarizeJSONL parses a JSONL trace (WriteJSONL or a TraceStream) into the
+// same summary model SummarizeChromeTrace produces, so downstream residency
+// math is format-independent.
+func SummarizeJSONL(r io.Reader) (*TraceSummary, error) {
+	s := newTraceSummary()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: %w", line, err)
+		}
+		switch rec.Type {
+		case "":
+			return nil, fmt.Errorf("telemetry: jsonl line %d: record has no type", line)
+		case "power":
+			if rec.Rank == nil {
+				return nil, fmt.Errorf("telemetry: jsonl line %d: power record has no rank", line)
+			}
+			s.addResidency(*rec.Rank, rec.State, usOf(sim.Time(rec.EndNs-rec.StartNs)))
+			if rec.RankName != "" {
+				s.RankNames[*rec.Rank] = rec.RankName
+			}
+		case "migration":
+			s.MigrationsUs = append(s.MigrationsUs, usOf(sim.Time(rec.DurNs)))
+			if rec.Reason != "" {
+				s.MigrationReasons[rec.Reason]++
+			}
+		default:
+			s.Points[rec.Type]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading jsonl: %w", err)
+	}
+	return s, nil
+}
+
+// SummarizeEventsCSV parses an events-CSV trace (WriteEventsCSV or a
+// TraceStream) into the shared summary model. The CSV format carries no rank
+// names, so RankNames stays empty and labels fall back to numeric ids.
+func SummarizeEventsCSV(r io.Reader) (*TraceSummary, error) {
+	s := newTraceSummary()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 {
+			if text != strings.TrimSpace(eventsCSVHeader) {
+				return nil, fmt.Errorf("telemetry: not an events CSV (header %q)", text)
+			}
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) != 8 {
+			return nil, fmt.Errorf("telemetry: csv line %d: %d fields, want 8", line, len(f))
+		}
+		if _, err := strconv.ParseInt(f[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("telemetry: csv line %d: bad at_ns %q", line, f[1])
+		}
+		dur, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: csv line %d: bad dur_ns %q", line, f[2])
+		}
+		switch f[0] {
+		case "power":
+			rank, err := strconv.Atoi(f[3])
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: csv line %d: bad rank %q", line, f[3])
+			}
+			s.addResidency(rank, f[5], usOf(sim.Time(dur)))
+		case "migration":
+			s.MigrationsUs = append(s.MigrationsUs, usOf(sim.Time(dur)))
+			if f[5] != "" {
+				s.MigrationReasons[f[5]]++
+			}
+		default:
+			s.Points[f[0]]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading csv: %w", err)
+	}
+	return s, nil
+}
+
+// SummarizeTrace sniffs the trace format from the first bytes of r and
+// dispatches to the matching reader: a Chrome trace opens with a JSON object
+// containing "traceEvents", a JSONL trace with a {"type":...} object, and an
+// events CSV with its fixed header.
+func SummarizeTrace(r io.Reader) (*TraceSummary, error) {
+	br := bufio.NewReader(r)
+	head, _ := br.Peek(256)
+	trimmed := bytes.TrimLeft(head, " \t\r\n")
+	switch {
+	case bytes.HasPrefix(trimmed, []byte("{")):
+		// One JSON object: Chrome trace if the first line mentions
+		// traceEvents, a JSONL record stream otherwise.
+		firstLine := trimmed
+		if i := bytes.IndexByte(firstLine, '\n'); i >= 0 {
+			firstLine = firstLine[:i]
+		}
+		if bytes.Contains(firstLine, []byte(`"traceEvents"`)) {
+			return SummarizeChromeTrace(br)
+		}
+		return SummarizeJSONL(br)
+	case bytes.HasPrefix(trimmed, []byte("record,")):
+		return SummarizeEventsCSV(br)
+	case len(trimmed) == 0:
+		return nil, fmt.Errorf("telemetry: empty trace")
+	default:
+		return nil, fmt.Errorf("telemetry: unrecognized trace format (starts %q)", string(trimmed[:min(16, len(trimmed))]))
+	}
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"strconv"
@@ -15,18 +16,23 @@ import (
 // and the file is complete up to the last flushed row even if the run dies.
 //
 // The column set is fixed lazily at the first sample: the header is emitted
-// then, covering every metric registered so far. Metrics registered later
-// are ignored by this sampler (registration only appends, so the captured
-// columns remain a stable prefix); experiments register everything during
-// construction, before the first sampling tick, so in practice the header
-// covers all metrics.
+// then, covering every metric registered so far. Metrics registered after
+// the header is fixed cannot appear in the file; rows keep rendering the
+// original columns (registration only appends, so the captured columns
+// remain a stable prefix of the registry) and the late registration is
+// rejected with an error from Finish, so a run that silently dropped a
+// metric cannot pass for a complete one. Experiments register everything
+// during construction, before the first sampling tick, so in practice the
+// header covers all metrics.
 type StreamSampler struct {
-	r    *Registry
-	w    io.Writer
-	cols int    // column count captured at first sample; 0 = header pending
-	buf  []byte // reused row buffer; rows are built here then written out
-	rows int
-	err  error
+	r       *Registry
+	w       io.Writer
+	cols    int    // column count captured at first sample; 0 = header pending
+	names   int    // registry name count when the header was fixed
+	buf     []byte // reused row buffer; rows are built here then written out
+	rows    int
+	err     error
+	lateErr error // first late metric registration observed
 }
 
 // StreamTo creates a sampler that renders rows of r's metrics to w. The
@@ -45,9 +51,14 @@ func (s *StreamSampler) Sample(now sim.Time) {
 	if s.cols == 0 {
 		cols := s.r.columns()
 		s.cols = len(cols)
+		s.names = len(s.r.names)
 		if _, s.err = io.WriteString(s.w, "time_ns,"+strings.Join(cols, ",")+"\n"); s.err != nil {
 			return
 		}
+	}
+	if s.lateErr == nil && len(s.r.names) > s.names {
+		s.lateErr = fmt.Errorf("telemetry: %d metric(s) registered after the streaming header was fixed (first: %q); their samples cannot appear in this CSV",
+			len(s.r.names)-s.names, s.r.names[s.names])
 	}
 	buf := s.buf[:0]
 	buf = strconv.AppendInt(buf, int64(now), 10)
@@ -104,14 +115,20 @@ func (s *StreamSampler) Start(eng *sim.Engine, period sim.Time) (cancel func()) 
 
 // Finish emits the header if no sample ever fired (a run shorter than one
 // sampling period still produces a well-formed, empty CSV) and reports the
-// first write error.
+// first write error, or else the first late metric registration (the file
+// itself stays well-formed in that case — every row has the header's
+// columns — but it is missing the late metrics).
 func (s *StreamSampler) Finish() error {
 	if s.err == nil && s.cols == 0 {
 		cols := s.r.columns()
 		s.cols = len(cols)
+		s.names = len(s.r.names)
 		_, s.err = io.WriteString(s.w, "time_ns,"+strings.Join(cols, ",")+"\n")
 	}
-	return s.err
+	if s.err != nil {
+		return s.err
+	}
+	return s.lateErr
 }
 
 // Rows reports how many data rows have been written.

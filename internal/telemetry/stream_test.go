@@ -52,7 +52,9 @@ func TestStreamMatchesWriteCSV(t *testing.T) {
 }
 
 // TestStreamHeaderFixedAtFirstSample: metrics registered after the first
-// sample are excluded, keeping every row aligned with the header.
+// sample are excluded, keeping every row aligned with the header — and the
+// late registration is rejected with an error at Finish rather than passing
+// for a complete file.
 func TestStreamHeaderFixedAtFirstSample(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("early").Inc()
@@ -61,12 +63,38 @@ func TestStreamHeaderFixedAtFirstSample(t *testing.T) {
 	s.Sample(5)
 	r.Gauge("late").Set(3) // must not corrupt subsequent rows
 	s.Sample(10)
-	if err := s.Finish(); err != nil {
-		t.Fatal(err)
+	err := s.Finish()
+	if err == nil {
+		t.Fatal("Finish accepted a metric registered after the header was fixed")
+	}
+	if !strings.Contains(err.Error(), `"late"`) {
+		t.Fatalf("late-registration error does not name the metric: %v", err)
 	}
 	want := "time_ns,early\n5,1\n10,1\n"
 	if sb.String() != want {
 		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+// TestStreamLateTimerRejected: a late timer (two columns) is rejected the
+// same way, and rows written before Finish keep the original column count.
+func TestStreamLateTimerRejected(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("b").Add(2)
+	var sb strings.Builder
+	s := r.StreamTo(&sb)
+	s.Sample(1)
+	r.Timer("late_timer", nil).Observe(50)
+	s.Sample(2)
+	s.Sample(3)
+	if err := s.Finish(); err == nil {
+		t.Fatal("Finish accepted a late timer registration")
+	}
+	for i, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if got := strings.Count(line, ","); got != 2 {
+			t.Fatalf("line %d %q has %d commas, want 2", i, line, got)
+		}
 	}
 }
 

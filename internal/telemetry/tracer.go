@@ -125,6 +125,10 @@ type Tracer struct {
 	next  int   // overwrite position once len(ring) == cap
 	total int64 // events ever emitted
 
+	// stream, when attached, receives every event and closed power span as
+	// it is recorded, independent of ring retention.
+	stream *TraceStream
+
 	finished bool
 	end      sim.Time
 }
@@ -184,12 +188,27 @@ func (t *Tracer) PowerTransition(rank, to int, at sim.Time) {
 		// Out-of-order emission would corrupt the partition invariant.
 		panic(fmt.Sprintf("telemetry: transition at %v before span start %v", at, t.since[rank]))
 	}
-	t.spans = append(t.spans, PowerSpan{Rank: rank, State: t.state[rank], Start: t.since[rank], End: at})
+	closed := PowerSpan{Rank: rank, State: t.state[rank], Start: t.since[rank], End: at}
+	t.spans = append(t.spans, closed)
+	t.stream.span(t, closed)
 	t.state[rank] = to
 	t.since[rank] = at
 }
 
+// AttachStream installs a streaming sink that receives every subsequent
+// event and closed power span (including the final closures Finish makes).
+// Spans already closed and events already in the ring are not replayed; in
+// practice the stream is attached right after NewTracer, before the run.
+// Passing nil detaches. Nil-receiver-safe like the emit methods.
+func (t *Tracer) AttachStream(ts *TraceStream) {
+	if t == nil {
+		return
+	}
+	t.stream = ts
+}
+
 func (t *Tracer) emit(ev Event) {
+	t.stream.event(ev)
 	if len(t.ring) < t.cfg.Capacity {
 		t.ring = append(t.ring, ev)
 	} else {
@@ -288,7 +307,9 @@ func (t *Tracer) Finish(horizon sim.Time) {
 		if end < t.since[rank] {
 			end = t.since[rank]
 		}
-		t.spans = append(t.spans, PowerSpan{Rank: rank, State: t.state[rank], Start: t.since[rank], End: end})
+		closed := PowerSpan{Rank: rank, State: t.state[rank], Start: t.since[rank], End: end}
+		t.spans = append(t.spans, closed)
+		t.stream.span(t, closed)
 	}
 	t.finished = true
 	t.end = horizon

@@ -232,7 +232,14 @@ func sortEvents(events []Event) {
 			return events[i].At < events[j].At
 		}
 		// Departures before arrivals at the same boundary.
-		return events[i].Depart && !events[j].Depart
+		if events[i].Depart != events[j].Depart {
+			return events[i].Depart
+		}
+		// Total order: departures come out of a map iteration, so without an
+		// ID tiebreak two VMs leaving at the same boundary would be released
+		// in random order — enough to perturb the DTL's free-queue order and
+		// make "identical" runs diverge.
+		return events[i].VM.ID < events[j].VM.ID
 	})
 }
 

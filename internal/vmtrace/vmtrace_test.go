@@ -218,3 +218,30 @@ func TestQueuedVMsEventuallyPlaced(t *testing.T) {
 		}
 	}
 }
+
+// TestScheduleIsDeterministic: identical inputs must yield an identical event
+// list. Departures are discovered by iterating a map, so the sort has to
+// impose a total order — anything weaker lets same-boundary departures come
+// out shuffled, which downstream perturbs the DTL's free-queue order.
+func TestScheduleIsDeterministic(t *testing.T) {
+	cfg := GenConfig{NumVMs: 500, Horizon: 3 * sim.Hour, Seed: 7}
+	srv := Server{VCPUs: 16, MemBytes: 96 << 30} // small enough to force churn
+	for trial := 0; trial < 3; trial++ {
+		a, _, err := Schedule(Generate(cfg), srv, cfg.Horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := Schedule(Generate(cfg), srv, cfg.Horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d vs %d events", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: event %d differs: %+v vs %+v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -9,6 +9,13 @@
 # (default 3x — wide enough that shared-runner noise never trips it, tight
 # enough that a real fast-path regression, like an allocation sneaking back
 # into the event loop, does).
+#
+# Failure modes that must NOT pass silently:
+#   - `go test` itself failing (build break, benchmark panic): POSIX sh has
+#     no pipefail, so the pipeline below would otherwise report tee's status;
+#     the real status is captured through a side file instead.
+#   - a baseline name missing from the run (renamed or deleted benchmark):
+#     every baseline entry must produce at least one result line.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,9 +31,18 @@ if [ -z "$pattern" ]; then
 fi
 
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+status="$(mktemp)"
+trap 'rm -f "$tmp" "$status"' EXIT
 
-go test -run '^$' -bench "^($pattern)\$" -benchmem -count "$count" ./... | tee "$tmp" >&2
+# Capture go test's own exit status through $status: `go test | tee` alone
+# reports tee's status, which would let a build break or benchmark panic
+# masquerade as a pass.
+{ go test -run '^$' -bench "^($pattern)\$" -benchmem -count "$count" ./... \
+    || echo "$?" > "$status"; } | tee "$tmp" >&2
+if [ -s "$status" ]; then
+    echo "bench_check: FAIL: go test exited with status $(cat "$status") (see output above)" >&2
+    exit 1
+fi
 
 awk -v factor="$factor" '
 NR == FNR {
@@ -48,7 +64,7 @@ END {
     fail = 0
     for (name in base) {
         if (!(name in n)) {
-            printf "FAIL %-28s did not run (baseline stale? regenerate with bench_baseline.sh)\n", name
+            printf "bench_check: FAIL: %s is in the baseline but produced no result — renamed, deleted, or its package did not build; fix it or regenerate with scripts/bench_baseline.sh\n", name | "cat 1>&2"
             fail = 1
             continue
         }
