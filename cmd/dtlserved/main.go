@@ -1,0 +1,80 @@
+// Command dtlserved serves DTL experiments over HTTP: submit jobs against the
+// paper's experiment suite, watch them live, fetch content-addressed
+// artifacts, and diff two runs server-side with `dtlstat diff` tolerances.
+//
+//	dtlserved -addr :8080 -workers 2 -store /var/lib/dtlserved
+//
+//	curl -s localhost:8080/v1/jobs -d '{"experiment":"fig12","quick":true}'
+//	curl -s localhost:8080/v1/jobs/j000001/stream
+//	curl -s localhost:8080/v1/jobs/j000001/artifacts/trace.jsonl
+//
+// On SIGTERM/SIGINT the daemon drains: new submissions are rejected with 503
+// while queued and in-flight jobs run to completion (bounded by
+// -drain-timeout, after which they are canceled), then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dtl/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", max(1, runtime.NumCPU()/2), "job worker pool size")
+	queue := flag.Int("queue", 8, "admission queue depth (full queue => 429)")
+	store := flag.String("store", "", "artifact store directory (default: a temp dir)")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "default per-job run bound (0 = none; a job spec may override)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "graceful-shutdown bound before in-flight jobs are canceled")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "dtlserved: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		StoreDir:   *store,
+		JobTimeout: *jobTimeout,
+	})
+	if err != nil {
+		log.Fatalf("dtlserved: %v", err)
+	}
+	log.Printf("dtlserved: %d workers, queue depth %d, store %s", *workers, *queue, srv.Store().Dir())
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	log.Printf("dtlserved: listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-done:
+		log.Fatalf("dtlserved: %v", err)
+	case s := <-sig:
+		log.Printf("dtlserved: %v: draining (in-flight jobs finish, submits get 503)", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("dtlserved: drain timeout, in-flight jobs canceled: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("dtlserved: shutdown: %v", err)
+	}
+	log.Printf("dtlserved: stopped")
+}

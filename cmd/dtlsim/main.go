@@ -26,8 +26,11 @@
 // period (0 = a default matched to the experiment's horizon).
 // -faults injects a deterministic fault process (internal/fault grammar) into
 // the schedule-driven experiments, exercising the self-healing loop.
-// -policy overrides power-down policy knobs (currently 'reserve=N', the
-// free-rank-group headroom) for A/B comparisons with `dtlstat diff`.
+// -policy overrides power-policy knobs for A/B comparisons with `dtlstat
+// diff`: 'reserve=N' (free-rank-group headroom before power-down),
+// 'window=DUR'/'threshold=DUR' (hotness profiling window and victim idle
+// threshold), and 'srmin=N' (standby ranks a channel keeps after a victim
+// enters self-refresh). Unknown keys fail loudly.
 // -watch paints a live dashboard on stderr: per-rank power-state strip,
 // rolling counters, and an ETA; plain ANSI on a terminal, one line per
 // snapshot when piped. Watching never alters results.
@@ -47,7 +50,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 	"time"
 
@@ -70,7 +72,7 @@ func main() {
 		metrics  = flag.String("metrics", "", "write sampled registry metrics as CSV")
 		sample   = flag.String("sample", "0", "virtual-time metrics sampling period (e.g. 1ms; 0 = per-experiment default)")
 		faults   = flag.String("faults", "", "fault-injection spec for the schedule experiments (fig12/fig13/faults), e.g. 'seed=7;storm:ch1/rk2:at=90m;kill:ch3/rk1:at=3h'")
-		policy   = flag.String("policy", "", "power-down policy overrides for A/B runs, e.g. 'reserve=3'")
+		policy   = flag.String("policy", "", "power-policy overrides for A/B runs, e.g. 'reserve=3;threshold=80ms;srmin=2'")
 		watch    = flag.Bool("watch", false, "live dashboard on stderr (power-state strip, counters, ETA)")
 
 		parallel   = flag.Int("parallel", 1, "run experiments across N workers (reports stay in serial order)")
@@ -110,7 +112,7 @@ func main() {
 	if format != telemetry.FormatChrome && *trace == "" {
 		fmt.Fprintln(os.Stderr, "dtlsim: -trace-format has no effect without -trace")
 	}
-	reserve, err := parsePolicy(*policy)
+	pol, err := experiments.ParsePolicy(*policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtlsim:", err)
 		os.Exit(2)
@@ -118,11 +120,11 @@ func main() {
 	opts := experiments.Options{
 		Quick: *quick, Seed: *seed, Out: out, CSVDir: *csvDir,
 		TracePath: *trace, MetricsPath: *metrics,
-		TraceFormat:      format,
-		SamplePeriod:     sim.Time(samplePeriod.Nanoseconds()),
-		FaultSpec:        *faults,
-		Parallel:         *parallel,
-		PowerDownReserve: reserve,
+		TraceFormat:  format,
+		SamplePeriod: sim.Time(samplePeriod.Nanoseconds()),
+		FaultSpec:    *faults,
+		Parallel:     *parallel,
+		Policy:       pol,
 	}
 
 	var watchDone chan struct{}
@@ -195,35 +197,4 @@ func main() {
 			os.Exit(1)
 		}
 	}
-}
-
-// parsePolicy parses the -policy string: semicolon-separated key=value
-// overrides. The only key defined today is 'reserve' (free rank-group
-// headroom before power-down, >= 1); unknown keys are an error so typos
-// don't silently run the baseline policy.
-func parsePolicy(s string) (reserve int, err error) {
-	if s == "" {
-		return 0, nil
-	}
-	for _, kv := range strings.Split(s, ";") {
-		kv = strings.TrimSpace(kv)
-		if kv == "" {
-			continue
-		}
-		key, val, ok := strings.Cut(kv, "=")
-		if !ok {
-			return 0, fmt.Errorf("bad -policy entry %q: want key=value", kv)
-		}
-		switch key {
-		case "reserve":
-			n, err := strconv.Atoi(val)
-			if err != nil || n < 1 {
-				return 0, fmt.Errorf("bad -policy reserve %q: want an integer >= 1", val)
-			}
-			reserve = n
-		default:
-			return 0, fmt.Errorf("unknown -policy key %q (known: reserve)", key)
-		}
-	}
-	return reserve, nil
 }

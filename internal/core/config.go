@@ -55,6 +55,13 @@ type Config struct {
 	// use this to pin configurations like the paper's fixed 6-rank
 	// setups); values above the group count disable power-down.
 	ReserveRankGroups int
+	// SelfRefreshMinStandby is the self-refresh enter policy: how many
+	// standby ranks a channel must retain after a victim enters
+	// self-refresh. §3.4 needs at least one standby target rank to absorb
+	// the victim's hot segments, so the floor (and default) is 1; larger
+	// values make entry more conservative, and values at or above
+	// RanksPerChannel disable self-refresh entry altogether.
+	SelfRefreshMinStandby int
 
 	// SMC timing (Eq. 2): hit latencies and the miss-path DRAM access.
 	L1SMCHit      sim.Time
@@ -66,18 +73,19 @@ type Config struct {
 // DefaultConfig returns the paper's parameters for the given geometry.
 func DefaultConfig(g dram.Geometry) Config {
 	return Config{
-		Geometry:            g,
-		AUBytes:             2 << 30,
-		MaxHosts:            16,
-		L1SMCEntries:        64,
-		L2SMCEntries:        1024,
-		L2SMCWays:           4,
-		ProfilingWindow:     500 * sim.Microsecond,
-		ProfilingThreshold:  50 * sim.Millisecond,
-		TSPTimeout:          40 * sim.Nanosecond,
-		TSPTimeoutEntries:   32,
-		MigrationRetryLimit: 3,
-		ReserveRankGroups:   1,
+		Geometry:              g,
+		AUBytes:               2 << 30,
+		MaxHosts:              16,
+		L1SMCEntries:          64,
+		L2SMCEntries:          1024,
+		L2SMCWays:             4,
+		ProfilingWindow:       500 * sim.Microsecond,
+		ProfilingThreshold:    50 * sim.Millisecond,
+		TSPTimeout:            40 * sim.Nanosecond,
+		TSPTimeoutEntries:     32,
+		MigrationRetryLimit:   3,
+		ReserveRankGroups:     1,
+		SelfRefreshMinStandby: 1,
 		// 1.5 GHz controller clock: L1 hit 1 cycle ≈ 0.67 ns, L2 hit
 		// 7 cycles ≈ 4.67 ns (§6.1); we round at nanosecond resolution.
 		L1SMCHit:      1 * sim.Nanosecond,
@@ -125,6 +133,9 @@ func (c Config) Validate() error {
 	}
 	if c.ReserveRankGroups < 1 {
 		return fmt.Errorf("core: reserve rank groups must be at least 1")
+	}
+	if c.SelfRefreshMinStandby < 1 {
+		return fmt.Errorf("core: self-refresh min standby must be at least 1")
 	}
 	return nil
 }

@@ -317,6 +317,9 @@ func fillDefaults(cfg *Config, def Config) {
 	if cfg.ReserveRankGroups == 0 {
 		cfg.ReserveRankGroups = def.ReserveRankGroups
 	}
+	if cfg.SelfRefreshMinStandby == 0 {
+		cfg.SelfRefreshMinStandby = def.SelfRefreshMinStandby
+	}
 	if cfg.L1SMCHit == 0 {
 		cfg.L1SMCHit = def.L1SMCHit
 	}

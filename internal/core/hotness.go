@@ -206,8 +206,9 @@ func (h *hotness) selectVictim(c int, now sim.Time) {
 			best = rk
 		}
 	}
-	// Need the victim plus at least one standby target rank.
-	if best < 0 || len(h.standbyRanks(c)) < 2 {
+	// Need the victim plus enough remaining standby ranks to satisfy the
+	// enter policy (SelfRefreshMinStandby targets must survive the entry).
+	if best < 0 || len(h.standbyRanks(c)) < h.d.cfg.SelfRefreshMinStandby+1 {
 		h.startWindow(c, now)
 		return
 	}

@@ -82,6 +82,33 @@ func TestHotnessPhaseProgression(t *testing.T) {
 	}
 }
 
+// TestSelfRefreshEnterPolicy: raising SelfRefreshMinStandby to the channel's
+// rank count leaves no room for a victim plus the required standby targets,
+// so the same workload that enters self-refresh under the default policy
+// never enters it under the conservative one.
+func TestSelfRefreshEnterPolicy(t *testing.T) {
+	cfg := testConfig()
+	cfg.ProfilingWindow = 10 * sim.Microsecond
+	cfg.ProfilingThreshold = 100 * sim.Microsecond
+	cfg.SelfRefreshMinStandby = cfg.Geometry.RanksPerChannel
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAlloc(t, d, 1, 0, 512*dram.MiB, 0)
+	d.Hotness().Enable(0)
+	a, _ := d.VMAddresses(1)
+	hot := a[:4]
+	now := driveAccesses(t, d, hot, 2000, 0, 500)
+	d.Tick(now + 200*sim.Microsecond)
+	if got := d.Stats().SelfRefreshEnters; got != 0 {
+		t.Fatalf("SR enters = %d under a policy that forbids entry", got)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestHotnessEntersSelfRefresh(t *testing.T) {
 	d := hotTestDTL(t)
 	// Two rank groups of data; traffic touches only the first AU of each

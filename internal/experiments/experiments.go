@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -67,16 +68,41 @@ type Options struct {
 	// sweep point builds an independent device); <= 1 runs points serially.
 	// Results and report bytes are identical either way.
 	Parallel int
-	// PowerDownReserve, when > 0, overrides core.Config.ReserveRankGroups for
-	// the power-down schedule experiments (fig12/fig13/fig15/faults): the
-	// number of free rank groups the allocator keeps as headroom before a
-	// group may power down. It is the policy knob `dtlsim -policy reserve=N`
-	// exposes for A/B runs compared with `dtlstat diff`.
-	PowerDownReserve int
+	// Policy carries power-policy overrides for A/B runs compared with
+	// `dtlstat diff`: the free-rank-group reserve for the power-down
+	// schedule experiments, and the profiling window/threshold and
+	// self-refresh enter policy for the hotness engine. It is the parsed
+	// form of `dtlsim -policy` and of a served job's `policy` field
+	// (ParsePolicy documents the grammar).
+	Policy Policy
+	// Ctx, when non-nil, bounds the run: the long schedule- and
+	// replay-driven experiments poll it at their natural cadence and
+	// abandon the run once it is done. RunAll converts the abandonment
+	// into a Result with Canceled set rather than letting it propagate as
+	// a panic. A nil Ctx (the default) costs nothing.
+	Ctx context.Context
 
 	// watchExperiment labels Watch snapshots with the runner id; stamped by
 	// RunAll so single-runner invocations need no wiring.
 	watchExperiment string
+}
+
+// canceledPanic carries the context error from an experiment's run loop up
+// to RunAll, which turns it into a canceled Result.
+type canceledPanic struct{ err error }
+
+// checkCanceled aborts the run (via panic, recovered in RunAll) when the
+// run's context is done. Experiments with long loops call it at their
+// natural polling cadence; with a nil Ctx it is a no-op.
+func (o Options) checkCanceled() {
+	if o.Ctx == nil {
+		return
+	}
+	select {
+	case <-o.Ctx.Done():
+		panic(canceledPanic{o.Ctx.Err()})
+	default:
+	}
 }
 
 // DefaultOptions returns full-scale deterministic options writing to w.
@@ -104,6 +130,11 @@ type Result struct {
 	PaperClaim string
 	// Metrics holds the headline numbers keyed by a short name.
 	Metrics map[string]float64
+	// Canceled marks a run abandoned because Options.Ctx was done before it
+	// finished; Err carries the context error. Metrics of a canceled run
+	// are empty.
+	Canceled bool   `json:"Canceled,omitempty"`
+	Err      string `json:"Err,omitempty"`
 }
 
 func newResult(id, title, claim string) Result {

@@ -69,9 +69,7 @@ type pdRun struct {
 func runPowerDownSchedule(o Options) pdRun {
 	g := pdGeometry()
 	cfg := core.DefaultConfig(g)
-	if o.PowerDownReserve > 0 {
-		cfg.ReserveRankGroups = o.PowerDownReserve
-	}
+	o.Policy.apply(&cfg)
 	d, err := core.New(cfg)
 	if err != nil {
 		panic(err)
@@ -128,6 +126,7 @@ func runPowerDownSchedule(o Options) pdRun {
 	var prevMigBytes int64
 
 	for t := sim.Time(0); t <= genCfg.Horizon; t += vmtrace.Interval {
+		o.checkCanceled()
 		if feng != nil {
 			feng.RunUntil(t)
 		}

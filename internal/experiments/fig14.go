@@ -103,6 +103,9 @@ func runSelfRefresh(o Options, cfg srConfig) srRunResult {
 	} else {
 		c.ReserveRankGroups = cfg.reserve
 	}
+	// Hotness-policy overrides only: the reserve above IS this experiment's
+	// independent variable and must not be clobbered by an A/B knob.
+	o.Policy.applyHotness(&c)
 	d, err := core.New(c)
 	if err != nil {
 		panic(err)
@@ -169,6 +172,9 @@ func runSelfRefresh(o Options, cfg srConfig) srRunResult {
 	var warmupEnters int64
 	now := sim.Time(0)
 	for i := 0; i < n; i++ {
+		if i&0xffff == 0 {
+			o.checkCanceled()
+		}
 		a := mix.Next()
 		if _, err := d.Access(base+dram.HPA(a.Addr), a.Write, now); err != nil {
 			panic(err)

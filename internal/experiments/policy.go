@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dtl/internal/core"
+	"dtl/internal/sim"
+)
+
+// Policy is the set of power-policy overrides an A/B run may apply on top of
+// an experiment's baseline configuration. It is the parsed form of the
+// `-policy` flag (dtlsim) and the `policy` field of a served job spec, so
+// both entry points accept exactly the same grammar. The zero value applies
+// nothing.
+type Policy struct {
+	// Reserve overrides core.Config.ReserveRankGroups for the power-down
+	// schedule experiments (fig12/fig13/fig15/faults): the free rank-group
+	// headroom the allocator keeps before a group may power down.
+	Reserve int
+	// ProfilingWindow / ProfilingThreshold override the hotness engine's
+	// victim-selection window and required victim idle time (§3.4). They
+	// apply wherever the engine runs — including fig14/fig15's time-dilated
+	// replays, where the override replaces the dilated default verbatim.
+	ProfilingWindow    sim.Time
+	ProfilingThreshold sim.Time
+	// SRMinStandby overrides core.Config.SelfRefreshMinStandby, the
+	// self-refresh enter policy: standby ranks a channel must retain after
+	// a victim enters self-refresh.
+	SRMinStandby int
+}
+
+// IsZero reports whether the policy applies no overrides.
+func (p Policy) IsZero() bool { return p == Policy{} }
+
+// ParsePolicy parses semicolon-separated key=value policy overrides:
+//
+//	reserve=N        free rank-group headroom before power-down (int >= 1)
+//	window=DUR       hotness profiling window (Go duration, e.g. 500us)
+//	threshold=DUR    hotness victim idle threshold (Go duration, e.g. 50ms)
+//	srmin=N          standby ranks kept per channel after SR entry (int >= 1)
+//
+// Unknown keys are an error, never ignored: a typo must not silently run the
+// baseline policy.
+func ParsePolicy(s string) (Policy, error) {
+	var p Policy
+	if s == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ";") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Policy{}, fmt.Errorf("bad policy entry %q: want key=value", kv)
+		}
+		switch key {
+		case "reserve":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Policy{}, fmt.Errorf("bad policy reserve %q: want an integer >= 1", val)
+			}
+			p.Reserve = n
+		case "window":
+			d, err := parsePolicyDuration(val)
+			if err != nil {
+				return Policy{}, fmt.Errorf("bad policy window %q: %v", val, err)
+			}
+			p.ProfilingWindow = d
+		case "threshold":
+			d, err := parsePolicyDuration(val)
+			if err != nil {
+				return Policy{}, fmt.Errorf("bad policy threshold %q: %v", val, err)
+			}
+			p.ProfilingThreshold = d
+		case "srmin":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Policy{}, fmt.Errorf("bad policy srmin %q: want an integer >= 1", val)
+			}
+			p.SRMinStandby = n
+		default:
+			return Policy{}, fmt.Errorf("unknown policy key %q (known: reserve, window, threshold, srmin)", key)
+		}
+	}
+	return p, nil
+}
+
+func parsePolicyDuration(val string) (sim.Time, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, fmt.Errorf("want a duration like 500us")
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("want a positive duration")
+	}
+	return sim.Time(d.Nanoseconds()), nil
+}
+
+// apply lays every override onto cfg. Used by the power-down schedule
+// experiments, where all four knobs are meaningful.
+func (p Policy) apply(cfg *core.Config) {
+	if p.Reserve > 0 {
+		cfg.ReserveRankGroups = p.Reserve
+	}
+	p.applyHotness(cfg)
+}
+
+// applyHotness lays only the hotness-engine overrides onto cfg. The
+// self-refresh experiments (fig14/fig15) pin ReserveRankGroups per
+// configuration — it IS the experiment's independent variable — so the
+// reserve knob must not clobber it there.
+func (p Policy) applyHotness(cfg *core.Config) {
+	if p.ProfilingWindow > 0 {
+		cfg.ProfilingWindow = p.ProfilingWindow
+	}
+	if p.ProfilingThreshold > 0 {
+		cfg.ProfilingThreshold = p.ProfilingThreshold
+	}
+	if p.SRMinStandby > 0 {
+		cfg.SelfRefreshMinStandby = p.SRMinStandby
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dtl/internal/core"
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+func TestParsePolicyGrammar(t *testing.T) {
+	p, err := ParsePolicy("reserve=3; window=20us;threshold=80ms ;srmin=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Policy{
+		Reserve:            3,
+		ProfilingWindow:    20 * sim.Microsecond,
+		ProfilingThreshold: 80 * sim.Millisecond,
+		SRMinStandby:       2,
+	}
+	if p != want {
+		t.Fatalf("ParsePolicy = %+v, want %+v", p, want)
+	}
+	if p.IsZero() {
+		t.Fatal("non-empty policy reports IsZero")
+	}
+	if p, err := ParsePolicy(""); err != nil || !p.IsZero() {
+		t.Fatalf("empty policy: %+v, %v", p, err)
+	}
+}
+
+func TestParsePolicyRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"typo=1":        "unknown policy key",
+		"reserve":       "want key=value",
+		"reserve=0":     "integer >= 1",
+		"reserve=x":     "integer >= 1",
+		"window=fast":   "duration",
+		"window=-1ms":   "positive duration",
+		"threshold=0s":  "positive duration",
+		"srmin=0":       "integer >= 1",
+		"reserve=2;q=1": "unknown policy key",
+	}
+	for in, frag := range cases {
+		if _, err := ParsePolicy(in); err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("ParsePolicy(%q) = %v, want error containing %q", in, err, frag)
+		}
+	}
+}
+
+func TestPolicyApply(t *testing.T) {
+	g := dram.Geometry{Channels: 4, RanksPerChannel: 8, BanksPerRank: 16,
+		SegmentBytes: 2 * dram.MiB, RankBytes: 2 * dram.GiB}
+	p := Policy{Reserve: 3, ProfilingWindow: 7, ProfilingThreshold: 9, SRMinStandby: 4}
+
+	cfg := core.DefaultConfig(g)
+	p.apply(&cfg)
+	if cfg.ReserveRankGroups != 3 || cfg.ProfilingWindow != 7 ||
+		cfg.ProfilingThreshold != 9 || cfg.SelfRefreshMinStandby != 4 {
+		t.Fatalf("apply missed a knob: %+v", cfg)
+	}
+
+	// applyHotness must leave the experiment-pinned reserve untouched.
+	cfg = core.DefaultConfig(g)
+	cfg.ReserveRankGroups = 5
+	p.applyHotness(&cfg)
+	if cfg.ReserveRankGroups != 5 {
+		t.Fatalf("applyHotness clobbered the pinned reserve: %d", cfg.ReserveRankGroups)
+	}
+	if cfg.ProfilingWindow != 7 || cfg.SelfRefreshMinStandby != 4 {
+		t.Fatalf("applyHotness missed a hotness knob: %+v", cfg)
+	}
+
+	// The zero policy applies nothing.
+	cfg = core.DefaultConfig(g)
+	def := cfg
+	(Policy{}).apply(&cfg)
+	if cfg != def {
+		t.Fatalf("zero policy changed the config: %+v", cfg)
+	}
+}
+
+// TestFig12PolicyKnobsAreLive: the reserve knob must change the power-down
+// schedule's outcome (more headroom → more active ranks, less saving), or
+// the A/B surface is dead.
+func TestFig12PolicyKnobsAreLive(t *testing.T) {
+	base := runPowerDownSchedule(quickOpts())
+	o := quickOpts()
+	o.Policy = Policy{Reserve: 3}
+	reserved := runPowerDownSchedule(o)
+	if reserved.meanActiveRanks <= base.meanActiveRanks {
+		t.Fatalf("reserve=3 mean active ranks %.2f not above baseline %.2f",
+			reserved.meanActiveRanks, base.meanActiveRanks)
+	}
+}

@@ -33,7 +33,7 @@ func RunAll(runners []Runner, opts Options, parallel int) []Result {
 		for i, r := range runners {
 			o := opts
 			o.watchExperiment = r.ID
-			results[i] = r.Run(o)
+			results[i] = runRunner(r, o)
 		}
 		return results
 	}
@@ -57,7 +57,8 @@ func RunAll(runners []Runner, opts Options, parallel int) []Result {
 			for i := range jobs {
 				o := opts
 				o.Out = bufs[i]
-				results[i] = runners[i].Run(o)
+				o.watchExperiment = runners[i].ID
+				results[i] = runRunner(runners[i], o)
 			}
 		}()
 	}
@@ -72,6 +73,33 @@ func RunAll(runners []Runner, opts Options, parallel int) []Result {
 		out.Write(b.Bytes())
 	}
 	return results
+}
+
+// runRunner executes one experiment, converting the cancellation panic
+// raised by Options.checkCanceled inside a run loop into a canceled Result.
+// When the context is already done the run is skipped outright. Any other
+// panic is a real bug and propagates.
+func runRunner(r Runner, o Options) (res Result) {
+	if o.Ctx != nil {
+		if err := o.Ctx.Err(); err != nil {
+			return canceledResult(r, err)
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				cp, ok := rec.(canceledPanic)
+				if !ok {
+					panic(rec)
+				}
+				res = canceledResult(r, cp.err)
+			}
+		}()
+	}
+	return r.Run(o)
+}
+
+func canceledResult(r Runner, err error) Result {
+	return Result{ID: r.ID, Title: r.Name, Canceled: true, Err: err.Error(),
+		Metrics: map[string]float64{}}
 }
 
 // sweepPoints maps fn over points with at most parallel concurrent workers,

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dtl/internal/experiments"
+	"dtl/internal/telemetry"
+)
+
+// ingestArtifacts lands a finished run in the store. Every job gets:
+//
+//	report.txt     the human-readable experiment report
+//	result.json    the machine-readable experiments.Result
+//
+// and, when the experiment produced them (only DTL-driven experiments write
+// traces; every sampled run writes metrics):
+//
+//	trace.<ext>    the run trace in the requested encoding
+//	metrics.csv    the sampled metrics registry
+//	summary.json   telemetry.TraceSummary of the trace (the diff input)
+//
+// JSON artifacts are marshaled with sorted map keys (encoding/json's map
+// ordering), so identical runs yield identical bytes and therefore identical
+// store digests.
+func (s *Server) ingestArtifacts(j *job, work string, report []byte, res experiments.Result) ([]ArtifactInfo, error) {
+	var arts []ArtifactInfo
+	putBytes := func(name string, b []byte) error {
+		digest, size, err := s.store.PutBytes(b)
+		if err != nil {
+			return fmt.Errorf("serve: storing %s: %w", name, err)
+		}
+		arts = append(arts, ArtifactInfo{Name: name, Digest: digest, Size: size})
+		return nil
+	}
+
+	if err := putBytes("report.txt", report); err != nil {
+		return nil, err
+	}
+	resJSON, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := putBytes("result.json", append(resJSON, '\n')); err != nil {
+		return nil, err
+	}
+
+	traceName := j.spec.traceArtifactName()
+	for _, name := range []string{traceName, "metrics.csv"} {
+		path := filepath.Join(work, name)
+		if _, err := os.Stat(path); err != nil {
+			continue // the experiment does not drive this sink
+		}
+		digest, size, err := s.store.PutFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: storing %s: %w", name, err)
+		}
+		arts = append(arts, ArtifactInfo{Name: name, Digest: digest, Size: size})
+	}
+
+	if sum, err := summarizeFile(filepath.Join(work, traceName)); err == nil && sum != nil {
+		sumJSON, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := putBytes("summary.json", append(sumJSON, '\n')); err != nil {
+			return nil, err
+		}
+	}
+	return arts, nil
+}
+
+// summarizeFile summarizes a trace file, or returns (nil, nil) when the file
+// does not exist or holds no power spans (experiments without a DTL).
+func summarizeFile(path string) (*telemetry.TraceSummary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil
+	}
+	defer f.Close()
+	sum, err := telemetry.SummarizeTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(sum.Residency) == 0 {
+		return nil, nil
+	}
+	return sum, nil
+}
+
+// summaryOf loads and summarizes a done job's trace artifact for the diff
+// endpoint.
+func (s *Server) summaryOf(id string) (*telemetry.TraceSummary, error) {
+	j, ok := s.jobByID(id)
+	if !ok {
+		return nil, fmt.Errorf("unknown job %q", id)
+	}
+	st := j.status()
+	if st.State != StateDone {
+		return nil, fmt.Errorf("job %s is %s, not done", id, st.State)
+	}
+	art, ok := j.artifact(j.spec.traceArtifactName())
+	if !ok {
+		return nil, fmt.Errorf("job %s has no trace artifact (experiment %q does not drive a DTL)",
+			id, j.spec.Experiment)
+	}
+	rc, err := s.store.Open(art.Digest)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	sum, err := telemetry.SummarizeTrace(rc)
+	if err != nil {
+		return nil, fmt.Errorf("summarizing job %s trace: %w", id, err)
+	}
+	return sum, nil
+}

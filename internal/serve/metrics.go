@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dtl/internal/metrics"
+)
+
+// serverMetrics backs GET /metrics: queue and worker gauges, admission and
+// completion counters, and job-latency percentiles over a sliding window of
+// recent jobs, rendered in the Prometheus text exposition format.
+type serverMetrics struct {
+	submitted     atomic.Int64
+	queueRejected atomic.Int64 // 429s
+	drainRejected atomic.Int64 // 503s
+	busyWorkers   atomic.Int64
+
+	done     atomic.Int64
+	failed   atomic.Int64
+	canceled atomic.Int64
+
+	mu        sync.Mutex
+	durations []float64 // seconds, newest last, capped
+}
+
+// durationWindow bounds the latency sample; old jobs age out so the
+// percentiles track current behavior.
+const durationWindow = 512
+
+func (m *serverMetrics) finished(state State, d time.Duration) {
+	switch state {
+	case StateDone:
+		m.done.Add(1)
+	case StateFailed:
+		m.failed.Add(1)
+	case StateCanceled:
+		m.canceled.Add(1)
+	}
+	m.mu.Lock()
+	m.durations = append(m.durations, d.Seconds())
+	if len(m.durations) > durationWindow {
+		m.durations = m.durations[len(m.durations)-durationWindow:]
+	}
+	m.mu.Unlock()
+}
+
+// writeMetrics renders the exposition. queueDepth and draining are sampled
+// by the caller (they live on the Server).
+func (m *serverMetrics) writeMetrics(w io.Writer, queueDepth, queueCap int, workers int, draining bool) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("dtlserved_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted.Load())
+	counter("dtlserved_jobs_rejected_total", "Jobs rejected with 429 (queue full).", m.queueRejected.Load())
+	counter("dtlserved_jobs_drain_rejected_total", "Jobs rejected with 503 (draining).", m.drainRejected.Load())
+	fmt.Fprintf(w, "# HELP dtlserved_jobs_completed_total Jobs finished, by terminal state.\n")
+	fmt.Fprintf(w, "# TYPE dtlserved_jobs_completed_total counter\n")
+	fmt.Fprintf(w, "dtlserved_jobs_completed_total{state=\"done\"} %d\n", m.done.Load())
+	fmt.Fprintf(w, "dtlserved_jobs_completed_total{state=\"failed\"} %d\n", m.failed.Load())
+	fmt.Fprintf(w, "dtlserved_jobs_completed_total{state=\"canceled\"} %d\n", m.canceled.Load())
+	gauge("dtlserved_queue_depth", "Jobs waiting in the admission queue.", int64(queueDepth))
+	gauge("dtlserved_queue_capacity", "Admission queue capacity.", int64(queueCap))
+	gauge("dtlserved_workers", "Worker pool size.", int64(workers))
+	gauge("dtlserved_workers_busy", "Workers currently running a job.", m.busyWorkers.Load())
+	d := int64(0)
+	if draining {
+		d = 1
+	}
+	gauge("dtlserved_draining", "1 while the server refuses new jobs.", d)
+
+	m.mu.Lock()
+	durs := append([]float64(nil), m.durations...)
+	m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP dtlserved_job_duration_seconds Wall-clock job latency (recent-window percentiles).\n")
+	fmt.Fprintf(w, "# TYPE dtlserved_job_duration_seconds summary\n")
+	if len(durs) > 0 {
+		sum := metrics.Summarize(durs)
+		fmt.Fprintf(w, "dtlserved_job_duration_seconds{quantile=\"0.5\"} %g\n", sum.P50)
+		fmt.Fprintf(w, "dtlserved_job_duration_seconds{quantile=\"0.95\"} %g\n", sum.P95)
+		fmt.Fprintf(w, "dtlserved_job_duration_seconds{quantile=\"0.99\"} %g\n", sum.P99)
+	}
+	fmt.Fprintf(w, "dtlserved_job_duration_seconds_count %d\n", len(durs))
+}

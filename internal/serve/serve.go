@@ -1,0 +1,325 @@
+// Package serve implements dtlserved: a long-lived HTTP/JSON daemon that
+// runs DTL experiment jobs as a service. Jobs are admitted through a bounded
+// queue with backpressure (429 + Retry-After when full), executed on a
+// worker pool over experiments.RunAll, observed live through the same
+// WatchSnapshot stream `dtlsim -watch` renders, and landed in a
+// content-addressed artifact store. A server-side diff endpoint runs
+// telemetry.DiffSummaries with the same tolerance gates as `dtlstat diff`,
+// so an A/B policy study is two job submissions and one diff call.
+//
+// Identical job specs produce byte-identical artifacts (the simulator is
+// deterministic by construction), which the store makes directly visible:
+// repeated runs share object digests.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dtl/internal/experiments"
+	"dtl/internal/telemetry"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the job worker pool size; 0 starts no workers (jobs queue
+	// but never run — useful for tests and drained standbys).
+	Workers int
+	// QueueDepth bounds the admission queue; at capacity submits get 429.
+	// 0 selects the default of 8.
+	QueueDepth int
+	// StoreDir roots the artifact store; empty selects a temp directory.
+	StoreDir string
+	// JobTimeout is the default per-job run bound (a job spec may override
+	// it); 0 means no default timeout.
+	JobTimeout time.Duration
+	// RetryAfter is the backoff hint sent with 429 responses; 0 selects 1s.
+	RetryAfter time.Duration
+}
+
+// Server owns the queue, the workers, the job registry, and the store.
+type Server struct {
+	cfg   Config
+	store *Store
+	met   serverMetrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for GET /v1/jobs
+	queue    chan *job
+	draining bool
+	seq      int
+
+	workers sync.WaitGroup
+}
+
+// ErrDraining rejects submissions during graceful shutdown.
+var ErrDraining = errors.New("serve: draining, not accepting jobs")
+
+// ErrQueueFull rejects submissions when the admission queue is at capacity.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.StoreDir == "" {
+		dir, err := os.MkdirTemp("", "dtlserved-store-")
+		if err != nil {
+			return nil, err
+		}
+		cfg.StoreDir = dir
+	}
+	store, err := OpenStore(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		jobs:  map[string]*job{},
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Store exposes the artifact store (read-only use expected).
+func (s *Server) Store() *Store { return s.store }
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Submit validates and enqueues a job. The error is ErrDraining, ErrQueueFull,
+// or a validation error (the HTTP layer maps these to 503, 429, and 400).
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	spec, err := spec.normalized()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.met.drainRejected.Add(1)
+		return JobStatus{}, ErrDraining
+	}
+	s.seq++
+	j := newJob(fmt.Sprintf("j%06d", s.seq), spec, time.Now())
+	select {
+	case s.queue <- j:
+	default:
+		s.seq-- // the id was never issued
+		s.met.queueRejected.Add(1)
+		return JobStatus{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.met.submitted.Add(1)
+	return j.status(), nil
+}
+
+// Job looks up a job by id.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+func (s *Server) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Cancel requests cancellation of a running job. It reports false when the
+// job is unknown or not currently running (queued jobs cannot be revoked
+// from the queue; they run and then observe nothing — cancellation targets
+// the in-flight case).
+func (s *Server) Cancel(id string) bool {
+	j, ok := s.jobByID(id)
+	if !ok {
+		return false
+	}
+	return j.requestCancel()
+}
+
+// Drain stops admission (submits fail with ErrDraining), lets queued and
+// in-flight jobs finish, and returns when the workers are idle. If ctx
+// expires first, in-flight jobs are canceled and Drain waits for the
+// (prompt, since runs poll their context) wind-down before returning
+// ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.requestCancel()
+		}
+		s.mu.Unlock()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.met.busyWorkers.Add(1)
+		s.run(j)
+		s.met.busyWorkers.Add(-1)
+	}
+}
+
+// run executes one job end to end: working directory, telemetry sinks, the
+// experiment itself, artifact ingestion, terminal state.
+func (s *Server) run(j *job) {
+	r, _ := experiments.ByID(j.spec.Experiment) // validated at admission
+
+	timeout := s.cfg.JobTimeout
+	if j.spec.TimeoutSec > 0 {
+		timeout = time.Duration(j.spec.TimeoutSec * float64(time.Second))
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	start := time.Now()
+	j.start(cancel, start)
+
+	finish := func(state State, errMsg string, res *experiments.Result, arts []ArtifactInfo) {
+		now := time.Now()
+		s.met.finished(state, now.Sub(start))
+		j.finish(state, errMsg, res, arts, now)
+	}
+
+	work, err := os.MkdirTemp("", "dtlserved-"+j.id+"-")
+	if err != nil {
+		finish(StateFailed, err.Error(), nil, nil)
+		return
+	}
+	defer os.RemoveAll(work)
+
+	format, _ := telemetry.ParseTraceFormat(j.spec.TraceFormat)
+	pol, _ := experiments.ParsePolicy(j.spec.Policy)
+	tracePath := filepath.Join(work, j.spec.traceArtifactName())
+	metricsPath := filepath.Join(work, "metrics.csv")
+
+	// The watch stream: the experiment publishes on a cap-1 coalescing
+	// channel exactly as under `dtlsim -watch`; the broadcaster fans
+	// snapshots out to HTTP subscribers.
+	watch := make(chan experiments.WatchSnapshot, 1)
+	var bcast sync.WaitGroup
+	bcast.Add(1)
+	go func() {
+		defer bcast.Done()
+		for snap := range watch {
+			j.publish(snap)
+		}
+	}()
+
+	var report bytes.Buffer
+	opts := experiments.Options{
+		Quick:       j.spec.Quick,
+		Seed:        j.spec.Seed,
+		Out:         &report,
+		TracePath:   tracePath,
+		TraceFormat: format,
+		MetricsPath: metricsPath,
+		FaultSpec:   j.spec.Faults,
+		Policy:      pol,
+		Parallel:    j.spec.Parallel,
+		Watch:       watch,
+		Ctx:         ctx,
+	}
+
+	var results []experiments.Result
+	var runErr error
+	func() {
+		// Experiments report internal errors by panicking; a served run
+		// must turn that into a failed job, not a dead worker.
+		defer func() {
+			if rec := recover(); rec != nil {
+				runErr = fmt.Errorf("experiment panicked: %v", rec)
+			}
+		}()
+		results = experiments.RunAll([]experiments.Runner{r}, opts, 1)
+	}()
+	close(watch)
+	bcast.Wait()
+
+	switch {
+	case runErr != nil:
+		finish(StateFailed, runErr.Error(), nil, nil)
+	case results[0].Canceled:
+		msg := results[0].Err
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			msg = fmt.Sprintf("job timeout after %v", timeout)
+		}
+		finish(StateCanceled, msg, nil, nil)
+	default:
+		res := results[0]
+		arts, err := s.ingestArtifacts(j, work, report.Bytes(), res)
+		if err != nil {
+			finish(StateFailed, err.Error(), &res, nil)
+			return
+		}
+		finish(StateDone, "", &res, arts)
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+)
+
+// Store is a content-addressed artifact store: every object lives at
+// objects/<d[:2]>/<d> where d is the hex SHA-256 of its bytes. Identical
+// artifacts from different jobs share one object, so "the same job submitted
+// twice returned the same digests" is both the determinism check and the
+// deduplication mechanism.
+type Store struct {
+	dir string
+}
+
+var digestRE = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// OpenStore creates (if needed) and opens a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	for _, sub := range []string{"objects", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("serve: opening store: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store root.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) objectPath(digest string) string {
+	return filepath.Join(s.dir, "objects", digest[:2], digest)
+}
+
+// Put writes r into the store and returns its digest and size. The object is
+// hashed while spooling to a temp file, then renamed into place; a
+// concurrent Put of the same content is harmless (same target path, same
+// bytes).
+func (s *Store) Put(r io.Reader) (digest string, size int64, err error) {
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "put-*")
+	if err != nil {
+		return "", 0, err
+	}
+	defer os.Remove(tmp.Name())
+
+	h := sha256.New()
+	size, err = io.Copy(io.MultiWriter(tmp, h), r)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", 0, err
+	}
+	digest = hex.EncodeToString(h.Sum(nil))
+	dst := s.objectPath(digest)
+	if _, err := os.Stat(dst); err == nil {
+		return digest, size, nil // already stored; dedupe
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return "", 0, err
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return "", 0, err
+	}
+	return digest, size, nil
+}
+
+// PutFile stores the file at path.
+func (s *Store) PutFile(path string) (string, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	return s.Put(f)
+}
+
+// PutBytes stores an in-memory artifact.
+func (s *Store) PutBytes(b []byte) (string, int64, error) {
+	d := sha256.Sum256(b)
+	digest := hex.EncodeToString(d[:])
+	dst := s.objectPath(digest)
+	if _, err := os.Stat(dst); err == nil {
+		return digest, int64(len(b)), nil
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "put-*")
+	if err != nil {
+		return "", 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return "", 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", 0, err
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return "", 0, err
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return "", 0, err
+	}
+	return digest, int64(len(b)), nil
+}
+
+// Open returns a reader over the object with the given digest.
+func (s *Store) Open(digest string) (io.ReadCloser, error) {
+	if !digestRE.MatchString(digest) {
+		return nil, fmt.Errorf("serve: bad digest %q", digest)
+	}
+	f, err := os.Open(s.objectPath(digest))
+	if err != nil {
+		return nil, fmt.Errorf("serve: object %s: %w", digest, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStoreRoundtripAndDedupe(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte("hello, artifacts\n")
+
+	d1, n1, err := st.PutBytes(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != int64(len(body)) {
+		t.Fatalf("size = %d, want %d", n1, len(body))
+	}
+	d2, _, err := st.Put(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("same content, different digests: %s vs %s", d1, d2)
+	}
+
+	rc, err := st.Open(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("roundtrip mismatch: %q", got)
+	}
+
+	// Dedupe: exactly one object on disk.
+	objects := 0
+	filepath.Walk(filepath.Join(st.Dir(), "objects"), func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			objects++
+		}
+		return nil
+	})
+	if objects != 1 {
+		t.Fatalf("objects on disk = %d, want 1 (dedupe)", objects)
+	}
+}
+
+func TestStoreRejectsBadDigest(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"",
+		"nothex",
+		"../../etc/passwd",
+		strings.Repeat("a", 63),
+		strings.Repeat("A", 64), // uppercase is not a store digest
+	} {
+		if _, err := st.Open(bad); err == nil {
+			t.Fatalf("Open(%q) accepted a malformed digest", bad)
+		}
+	}
+	if _, err := st.Open(strings.Repeat("a", 64)); err == nil {
+		t.Fatal("Open of an absent (well-formed) digest should fail")
+	}
+}
