@@ -127,6 +127,37 @@ func BenchmarkAccessPath(b *testing.B) {
 	}
 }
 
+// BenchmarkAttributedAccessPath is BenchmarkAccessPath with the attribution
+// ledger attached: every access additionally charges its latency to the
+// owning (vm, rank, cause) ledger cells. The gate (3x AccessPath's baseline,
+// 0 allocs/op) bounds the observability tax on the hot path.
+func BenchmarkAttributedAccessPath(b *testing.B) {
+	cfg := core.DefaultConfig(smallGeometry())
+	cfg.AUBytes = 16 * dram.MiB
+	dev, err := Open(WithConfig(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev.Core().StartLedger()
+	alloc, err := dev.AllocateVM(1, 0, 512*dram.MiB, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := trace.ProfileByName("data-caching")
+	p.FootprintBytes = 512 * dram.MiB
+	g := trace.MustGenerator(p, 1)
+	now := Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := g.Next()
+		if _, err := dev.Read(alloc.AUBases[0]+HPA(a.Addr), now); err != nil {
+			b.Fatal(err)
+		}
+		now += 10
+	}
+}
+
 // BenchmarkAllocDealloc measures the VM lifecycle including the power-down
 // consolidation check.
 func BenchmarkAllocDealloc(b *testing.B) {

@@ -70,6 +70,7 @@ func main() {
 		trace    = flag.String("trace", "", "write a trace of the run (fig9/fig12/fig13/fig14)")
 		traceFmt = flag.String("trace-format", "chrome", "trace encoding: chrome, jsonl, or csv (jsonl/csv stream every event)")
 		metrics  = flag.String("metrics", "", "write sampled registry metrics as CSV")
+		ledger   = flag.String("ledger", "", "write the (vm, rank, cause) attribution cost ledger as JSON (same experiments as -trace)")
 		sample   = flag.String("sample", "0", "virtual-time metrics sampling period (e.g. 1ms; 0 = per-experiment default)")
 		faults   = flag.String("faults", "", "fault-injection spec for the schedule experiments (fig12/fig13/faults), e.g. 'seed=7;storm:ch1/rk2:at=90m;kill:ch3/rk1:at=3h'")
 		policy   = flag.String("policy", "", "power-policy overrides for A/B runs, e.g. 'reserve=3;threshold=80ms;srmin=2'")
@@ -119,7 +120,7 @@ func main() {
 	}
 	opts := experiments.Options{
 		Quick: *quick, Seed: *seed, Out: out, CSVDir: *csvDir,
-		TracePath: *trace, MetricsPath: *metrics,
+		TracePath: *trace, MetricsPath: *metrics, LedgerPath: *ledger,
 		TraceFormat:  format,
 		SamplePeriod: sim.Time(samplePeriod.Nanoseconds()),
 		FaultSpec:    *faults,

@@ -141,13 +141,29 @@ func counters(s experiments.WatchSnapshot) string {
 		s.Migrations, s.Wakes, s.Faults, s.Retired)
 }
 
+// attrPane renders the live attribution ledger as one line per nonzero
+// cause; empty when no ledger is attached.
+func attrPane(s experiments.WatchSnapshot) []string {
+	if len(s.Attr) == 0 {
+		return nil
+	}
+	lines := []string{"  attribution (cause: latency / energy):"}
+	for _, a := range s.Attr {
+		lines = append(lines, fmt.Sprintf("    %-17s %12s  %11.3g",
+			a.Cause, vdur(sim.Time(a.LatNs)), a.Energy))
+	}
+	return lines
+}
+
 // renderFrame repaints the dashboard in place: move the cursor up over the
 // previous frame, then rewrite every line with erase-to-end so shrinking
 // content leaves no droppings.
 func (r *watchRenderer) renderFrame(s experiments.WatchSnapshot) {
 	lines := []string{headline(s, r.eta(progress(s)))}
 	lines = append(lines, channelStrips(s)...)
-	lines = append(lines, counters(s), "  "+watchLegend)
+	lines = append(lines, counters(s))
+	lines = append(lines, attrPane(s)...)
+	lines = append(lines, "  "+watchLegend)
 
 	var b strings.Builder
 	if r.lines > 0 {
@@ -186,6 +202,9 @@ func (r *watchRenderer) renderLine(s experiments.WatchSnapshot) {
 		}
 	}
 	fmt.Fprintf(&b, " migrations=%d wakes=%d faults=%d", s.Migrations, s.Wakes, s.Faults)
+	for _, a := range s.Attr {
+		fmt.Fprintf(&b, " attr.%s=%dns", a.Cause, a.LatNs)
+	}
 	if s.Done {
 		b.WriteString(" done")
 	}

@@ -1,15 +1,19 @@
 // Command dtlstat summarizes and compares traces produced by dtlsim -trace:
 // per-rank residency in each power state, migration-latency percentiles, the
-// background-energy proxy, and counts of the remaining instrumented events.
-// All three trace encodings (chrome, jsonl, csv) are accepted and sniffed
-// automatically.
+// background-energy proxy, attribution-ledger breakdowns, and counts of the
+// remaining instrumented events. All three trace encodings (chrome, jsonl,
+// csv) are accepted and sniffed automatically; `top` additionally accepts
+// the ledger JSON written by dtlsim -ledger.
 //
 // Usage:
 //
 //	dtlstat read trace.jsonl
+//	dtlstat read -json trace.jsonl                       # machine-readable summary
 //	dtlstat read -check RESIDENCY_seed.json trace.json   # CI residency gate
+//	dtlstat top ledger.json                              # where did my energy go?
+//	dtlstat top -json trace.jsonl
 //	dtlstat diff baseline.jsonl candidate.jsonl
-//	dtlstat diff -share 0.05 -lat 0.25 -energy 0.10 a.jsonl b.jsonl
+//	dtlstat diff -share 0.05 -lat 0.25 -energy 0.10 -attr 0.25 a.jsonl b.jsonl
 //
 //	dtlstat [-check band.json] trace.json                # legacy spelling of 'read'
 //
@@ -19,18 +23,25 @@
 // on a violation, so CI can catch power-behavior regressions the unit suite
 // is too coarse to see.
 //
+// `top` renders the attribution cost ledger — every nanosecond of latency
+// and every unit of the energy proxy charged to a (vm, rank, cause) triple —
+// as sorted per-cause, per-VM and per-rank breakdown tables. It accepts
+// either a ledger JSON file (dtlsim -ledger) or any trace that carries the
+// finish-time ledger dump.
+//
 // `diff` compares a baseline run A against a candidate B: per-state residency
 // share deltas (aggregate and worst rank), migration-latency percentile
-// shifts, and the energy-proxy drift. With no tolerance flags it only
-// reports; setting -share/-lat/-energy turns the corresponding check into a
-// gate that exits nonzero when the candidate leaves the band (a rank-set
-// mismatch always fails). Two runs of the same dtlsim configuration are
-// byte-deterministic, so `dtlstat diff -share 1e-9` of a repeated run is a
-// meaningful CI identity check.
+// shifts, the energy-proxy drift, and per-cause attribution shifts. With no
+// tolerance flags it only reports; setting -share/-lat/-energy/-attr turns
+// the corresponding check into a gate that exits nonzero when the candidate
+// leaves the band (a rank-set mismatch always fails). Two runs of the same
+// dtlsim configuration are byte-deterministic, so `dtlstat diff -share 1e-9`
+// of a repeated run is a meaningful CI identity check.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +59,8 @@ func main() {
 			os.Exit(cmdRead(args[1:]))
 		case "diff":
 			os.Exit(cmdDiff(args[1:]))
+		case "top":
+			os.Exit(cmdTop(args[1:]))
 		case "help", "-h", "-help", "--help":
 			usage()
 			return
@@ -59,14 +72,18 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dtlstat read [-check band.json] <trace>
-  dtlstat diff [-share S] [-lat L] [-energy E] <traceA> <traceB>
+  dtlstat read [-json] [-check band.json] <trace>
+  dtlstat top [-json] <ledger.json | trace>
+  dtlstat diff [-json] [-share S] [-lat L] [-energy E] [-attr A] <traceA> <traceB>
   dtlstat [-check band.json] <trace>     (same as 'read')
 
-Traces may be chrome JSON, JSONL, or events CSV; the format is sniffed.`)
+Traces may be chrome JSON, JSONL, or events CSV; the format is sniffed.
+'top' also accepts the attribution ledger JSON written by dtlsim -ledger.`)
 }
 
 // loadSummary opens and summarizes one trace file of any supported format.
+// Empty and mid-record-truncated traces get distinct, actionable messages
+// (the telemetry errors carry the line/offset of the cut).
 func loadSummary(path string) (*telemetry.TraceSummary, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -74,7 +91,12 @@ func loadSummary(path string) (*telemetry.TraceSummary, error) {
 	}
 	defer f.Close()
 	s, err := telemetry.SummarizeTrace(f)
-	if err != nil {
+	switch {
+	case errors.Is(err, telemetry.ErrEmptyTrace):
+		return nil, fmt.Errorf("%s: %w — was the run interrupted before any record was written?", path, err)
+	case errors.Is(err, telemetry.ErrTruncatedTrace):
+		return nil, fmt.Errorf("%s: %w — the writer was likely killed mid-run; the records before the cut are intact", path, err)
+	case err != nil:
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return s, nil
@@ -84,8 +106,9 @@ func loadSummary(path string) (*telemetry.TraceSummary, error) {
 func cmdRead(args []string) int {
 	fs := flag.NewFlagSet("dtlstat read", flag.ExitOnError)
 	check := fs.String("check", "", "residency band JSON; exit nonzero if any state's aggregate share leaves its band")
+	jsonOut := fs.Bool("json", false, "emit the summary as JSON instead of tables")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dtlstat read [-check band.json] <trace>")
+		fmt.Fprintln(os.Stderr, "usage: dtlstat read [-json] [-check band.json] <trace>")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -106,6 +129,21 @@ func cmdRead(args []string) int {
 
 	ranks := s.Ranks()
 	states := stateColumns(s)
+
+	if *jsonOut {
+		agg, aggTotal := aggregateResidency(s, ranks, states)
+		if err := writeReadJSON(s, ranks, states, agg, aggTotal); err != nil {
+			fmt.Fprintln(os.Stderr, "dtlstat:", err)
+			return 1
+		}
+		if *check != "" {
+			if err := checkBand(*check, agg, aggTotal); err != nil {
+				fmt.Fprintln(os.Stderr, "dtlstat:", err)
+				return 1
+			}
+		}
+		return 0
+	}
 
 	fmt.Printf("power-state residency (%d ranks, run %.3f s)\n\n",
 		len(ranks), s.RankDuration(ranks[0])/1e6)
@@ -178,8 +216,10 @@ func cmdDiff(args []string) int {
 	share := fs.Float64("share", 0, "max absolute residency-share drift per state, aggregate and per-rank (0 = report only)")
 	lat := fs.Float64("lat", 0, "max relative migration-latency percentile shift, e.g. 0.25 = 25% (0 = report only)")
 	energy := fs.Float64("energy", 0, "max relative energy-proxy drift (0 = report only)")
+	attr := fs.Float64("attr", 0, "max relative per-cause attribution shift, latency and energy (0 = report only)")
+	jsonOut := fs.Bool("json", false, "emit the diff and verdict as JSON instead of tables")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dtlstat diff [-share S] [-lat L] [-energy E] <traceA> <traceB>")
+		fmt.Fprintln(os.Stderr, "usage: dtlstat diff [-json] [-share S] [-lat L] [-energy E] [-attr A] <traceA> <traceB>")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -200,6 +240,33 @@ func cmdDiff(args []string) int {
 	}
 
 	d := telemetry.DiffSummaries(a, b)
+	tol := telemetry.DiffTolerance{Share: *share, LatFrac: *lat, EnergyFrac: *energy, AttrFrac: *attr}
+	gated := tol.Share > 0 || tol.LatFrac > 0 || tol.EnergyFrac > 0 || tol.AttrFrac > 0
+
+	if *jsonOut {
+		bad := d.Check(tol)
+		wrapper := struct {
+			A          string                 `json:"a"`
+			B          string                 `json:"b"`
+			Diff       *telemetry.SummaryDiff `json:"diff"`
+			Violations []string               `json:"violations"`
+			Pass       bool                   `json:"pass"`
+		}{fs.Arg(0), fs.Arg(1), d, bad, len(bad) == 0}
+		if wrapper.Violations == nil {
+			wrapper.Violations = []string{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(wrapper); err != nil {
+			fmt.Fprintln(os.Stderr, "dtlstat:", err)
+			return 1
+		}
+		if len(bad) > 0 {
+			return 1
+		}
+		return 0
+	}
+
 	fmt.Printf("diff: A=%s  B=%s\n\n", fs.Arg(0), fs.Arg(1))
 
 	tab := metrics.NewTable("state", "share_A", "share_B", "delta_pp", "worst_rank", "rank_delta_pp")
@@ -227,6 +294,19 @@ func cmdDiff(args []string) int {
 	}
 	fmt.Printf("energy proxy: A %.0f  B %.0f  (%+.2f%%)\n", d.EnergyA, d.EnergyB, 100*d.EnergyDelta())
 
+	if len(d.Causes) > 0 {
+		fmt.Println("\nattribution (per cause):")
+		ctab := metrics.NewTable("cause", "lat_A_ns", "lat_B_ns", "lat_shift", "energy_A", "energy_B", "energy_shift")
+		for _, c := range d.Causes {
+			ctab.AddRow(c.Cause,
+				fmt.Sprintf("%d", c.LatA), fmt.Sprintf("%d", c.LatB),
+				fmt.Sprintf("%+.1f%%", 100*c.LatShift()),
+				fmt.Sprintf("%.4g", c.EnergyA), fmt.Sprintf("%.4g", c.EnergyB),
+				fmt.Sprintf("%+.1f%%", 100*c.EnergyShift()))
+		}
+		ctab.Render(os.Stdout)
+	}
+
 	if len(d.Points) > 0 {
 		names := make([]string, 0, len(d.Points))
 		for n := range d.Points {
@@ -240,7 +320,6 @@ func cmdDiff(args []string) int {
 		}
 	}
 
-	tol := telemetry.DiffTolerance{Share: *share, LatFrac: *lat, EnergyFrac: *energy}
 	bad := d.Check(tol)
 	if len(bad) > 0 {
 		fmt.Println()
@@ -249,7 +328,7 @@ func cmdDiff(args []string) int {
 		}
 		return 1
 	}
-	if tol.Share > 0 || tol.LatFrac > 0 || tol.EnergyFrac > 0 {
+	if gated {
 		fmt.Println("\ntolerance check: PASS")
 	}
 	return 0
@@ -330,6 +409,63 @@ func stateColumns(s *telemetry.TraceSummary) []string {
 		}
 	}
 	return cols
+}
+
+// readRankJSON is one rank's residency in the -json summary.
+type readRankJSON struct {
+	Rank   int                `json:"rank"`
+	Label  string             `json:"label"`
+	TotalS float64            `json:"total_s"`
+	Shares map[string]float64 `json:"shares"`
+}
+
+// readReport is the `dtlstat read -json` shape.
+type readReport struct {
+	Ranks       []readRankJSON          `json:"ranks"`
+	Aggregate   map[string]float64      `json:"aggregate_shares"`
+	Migrations  int                     `json:"migrations"`
+	LatencyUs   *metrics.Summary        `json:"migration_latency_us,omitempty"`
+	Reasons     map[string]int          `json:"migration_reasons,omitempty"`
+	EnergyProxy float64                 `json:"energy_proxy"`
+	Events      map[string]int          `json:"events,omitempty"`
+	Attribution []telemetry.LedgerEntry `json:"attribution,omitempty"`
+}
+
+// writeReadJSON emits the machine-readable form of the `read` summary.
+func writeReadJSON(s *telemetry.TraceSummary, ranks []int, states []string, agg map[string]float64, aggTotal float64) error {
+	rep := readReport{
+		Aggregate:   map[string]float64{},
+		Migrations:  len(s.MigrationsUs),
+		Reasons:     s.MigrationReasons,
+		EnergyProxy: s.EnergyProxy(nil),
+		Events:      s.Points,
+		Attribution: s.Attribution,
+	}
+	for _, rank := range ranks {
+		total := s.RankDuration(rank)
+		rr := readRankJSON{
+			Rank: rank, Label: s.RankLabel(rank),
+			TotalS: total / 1e6, Shares: map[string]float64{},
+		}
+		for _, st := range states {
+			if total > 0 {
+				rr.Shares[st] = s.Residency[rank][st] / total
+			}
+		}
+		rep.Ranks = append(rep.Ranks, rr)
+	}
+	for _, st := range states {
+		if aggTotal > 0 {
+			rep.Aggregate[st] = agg[st] / aggTotal
+		}
+	}
+	if len(s.MigrationsUs) > 0 {
+		sum := metrics.Summarize(s.MigrationsUs)
+		rep.LatencyUs = &sum
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // sharePct renders a residency share of the rank's total time.

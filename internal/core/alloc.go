@@ -7,6 +7,7 @@ import (
 
 	"dtl/internal/dram"
 	"dtl/internal/sim"
+	"dtl/internal/telemetry"
 )
 
 // ErrOutOfCapacity is returned by AllocateVM when the device cannot satisfy
@@ -66,7 +67,7 @@ func (d *DTL) AllocateVM(vm VMID, host HostID, bytes int64, now sim.Time) (Alloc
 		if short < 0 {
 			break
 		}
-		if !d.reactivateOne(now) {
+		if !d.reactivateOne(vm, now) {
 			return Allocation{}, fmt.Errorf("%w: channel %d needs %d segments, %d free and no powered-down groups",
 				ErrOutOfCapacity, short, perChannelNeed, d.activeFreeSegmentsOn(short))
 		}
@@ -92,6 +93,7 @@ func (d *DTL) AllocateVM(vm VMID, host HostID, bytes int64, now sim.Time) (Alloc
 	for i := int64(0); i < aus; i++ {
 		auID := d.auFree[host].popFront()
 		st.aus = append(st.aus, auID)
+		d.auOwner[int64(host)*d.cfg.TotalAUs()+auID] = int64(vm)
 		alloc.AUBases = append(alloc.AUBases, d.auBase(host, auID))
 
 		// Each channel contributes an equal number of segments; consecutive
@@ -209,15 +211,21 @@ func (d *DTL) pickAllocRank(ch int) int {
 	return best
 }
 
-// reactivateOne wakes the most recently powered-down rank group.
-func (d *DTL) reactivateOne(now sim.Time) bool {
+// reactivateOne wakes the most recently powered-down rank group on behalf
+// of vm's allocation, charging each rank's MPSM-exit wait to the ledger as
+// demotion-wait (the cost of having demoted that rank in the first place).
+func (d *DTL) reactivateOne(vm VMID, now sim.Time) bool {
 	if len(d.poweredDown) == 0 {
 		return false
 	}
 	group := d.poweredDown[len(d.poweredDown)-1]
 	d.poweredDown = d.poweredDown[:len(d.poweredDown)-1]
 	for _, id := range group {
-		d.dev.SetState(id, dram.Standby, now)
+		ready := d.dev.SetState(id, dram.Standby, now)
+		if ready > now {
+			d.chargeSpan(int64(vm), d.codec.GlobalRank(id.Channel, id.Rank),
+				telemetry.CauseDemotionWait, now, ready, 0)
+		}
 	}
 	d.st.reactivateEvents.Inc()
 	return true
@@ -247,6 +255,9 @@ func (d *DTL) DeallocateVM(vm VMID, now sim.Time) error {
 		d.free[gr].push(dsn)
 		d.allocated[gr]--
 		d.hot.onSegmentFreed(dsn)
+	}
+	for _, au := range st.aus {
+		d.auOwner[int64(st.host)*d.cfg.TotalAUs()+au] = telemetry.SystemVM
 	}
 	d.auFree[st.host].pushAll(st.aus)
 	delete(d.vms, vm)

@@ -79,6 +79,17 @@ type DTL struct {
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
 	st     statCounters
+
+	// ledger is the attribution cost ledger (nil unless attached; charging
+	// is zero-cost when disabled, like the tracer). auOwner maps a global
+	// AU slot (host × TotalAUs + au) to the owning VM id so the access
+	// fast path can attribute a charge without a map lookup; unowned slots
+	// hold telemetry.SystemVM. migEnergyPerSeg is the precomputed active
+	// energy proxy of copying one segment (ActivePowerPerGBs × bytes).
+	ledger          *telemetry.Ledger
+	auOwner         []int64
+	segsPerAU       int64
+	migEnergyPerSeg float64
 }
 
 // statCounters are the registry-backed counters behind the Stats view.
@@ -171,6 +182,12 @@ func NewWithDevice(cfg Config, dev *dram.Device) (*DTL, error) {
 	}
 	d.st = newStatCounters(d.reg)
 	d.ctrl.RegisterMetrics(d.reg)
+	d.segsPerAU = cfg.SegmentsPerAU()
+	d.migEnergyPerSeg = dev.Power().ActivePowerPerGBs * float64(g.SegmentBytes)
+	d.auOwner = make([]int64, int64(cfg.MaxHosts)*cfg.TotalAUs())
+	for i := range d.auOwner {
+		d.auOwner[i] = telemetry.SystemVM
+	}
 	for i := range d.revMap {
 		d.revMap[i] = dsnFree
 	}
@@ -281,6 +298,37 @@ func (d *DTL) StartTrace(capacity int, now sim.Time) *telemetry.Tracer {
 
 // Tracer reports the attached tracer (nil when tracing is off).
 func (d *DTL) Tracer() *telemetry.Tracer { return d.tracer }
+
+// AttachLedger installs l as the attribution cost ledger. Passing nil
+// detaches it and restores the zero-cost path.
+func (d *DTL) AttachLedger(l *telemetry.Ledger) { d.ledger = l }
+
+// Ledger reports the attached cost ledger (nil when attribution is off).
+func (d *DTL) Ledger() *telemetry.Ledger { return d.ledger }
+
+// StartLedger builds a ledger sized for this device, attaches it, and
+// returns it.
+func (d *DTL) StartLedger() *telemetry.Ledger {
+	l := telemetry.NewLedger(telemetry.LedgerConfig{Ranks: d.cfg.Geometry.TotalRanks()})
+	d.AttachLedger(l)
+	return l
+}
+
+// ownerOf reports the VM owning hsn's allocation unit, or
+// telemetry.SystemVM when the AU is unassigned.
+func (d *DTL) ownerOf(hsn dram.HSN) int64 {
+	return d.auOwner[int64(hsn)/d.segsPerAU]
+}
+
+// chargeSpan books one background attribution span into the ledger and
+// mirrors it into the trace. No-op when the ledger is detached.
+func (d *DTL) chargeSpan(vm int64, rank int, cause telemetry.Cause, start, end sim.Time, energy float64) {
+	if d.ledger == nil {
+		return
+	}
+	d.ledger.End(d.ledger.Begin(vm, rank, cause, start), end, energy)
+	d.tracer.AttrSpan(vm, rank, cause.String(), start, end, energy)
+}
 
 // fillDefaults copies default values into zero-valued cfg fields.
 func fillDefaults(cfg *Config, def Config) {
@@ -450,6 +498,26 @@ func (d *DTL) Access(hpa dram.HPA, write bool, now sim.Time) (AccessResult, erro
 	d.st.accesses.Inc()
 	d.st.translationNs.Add(int64(tlat))
 
+	if d.ledger != nil {
+		// Decompose the access latency into attribution causes: the
+		// L1-hit translation plus un-penalized service time is baseline;
+		// everything above it is charged to the mechanism that added it.
+		// The four terms sum to TotalLat exactly (conservation).
+		gr := d.codec.GlobalRank(loc.Channel, loc.Rank)
+		vm := d.auOwner[int64(hsn)/d.segsPerAU]
+		base := d.cfg.L1SMCHit + (res.Done - (now + tlat)) - res.WakeDelay - res.Degraded
+		d.ledger.Charge(vm, gr, telemetry.CauseBaseline, int64(base), 0)
+		if walk := tlat - d.cfg.L1SMCHit; walk > 0 {
+			d.ledger.Charge(vm, gr, telemetry.CauseSMCMissWalk, int64(walk), 0)
+		}
+		if res.WakeDelay > 0 {
+			d.ledger.Charge(vm, gr, telemetry.CauseSelfRefreshWake, int64(res.WakeDelay), 0)
+		}
+		if res.Degraded > 0 {
+			d.ledger.Charge(vm, gr, telemetry.CauseDegradedRead, int64(res.Degraded), 0)
+		}
+	}
+
 	return AccessResult{
 		DPA:             dpa,
 		TranslationLat:  tlat,
@@ -457,6 +525,43 @@ func (d *DTL) Access(hpa dram.HPA, write bool, now sim.Time) (AccessResult, erro
 		SMCLevel:        lvl,
 		WokeSelfRefresh: wasSR,
 	}, nil
+}
+
+// ProbeDegraded issues one read access against every failed-but-unretired
+// global rank that still holds live data, at virtual time now. It models the
+// health plane sampling a degraded rank (the paper's verify-before-reroute
+// probes) and guarantees the cost ledger sees the degraded-read penalty even
+// when retirement evacuates the rank before the next foreground access lands
+// on it. Returns the number of probes issued and their summed total latency.
+func (d *DTL) ProbeDegraded(now sim.Time) (int, sim.Time) {
+	g := d.cfg.Geometry
+	probes := 0
+	var lat sim.Time
+	for gr := 0; gr < g.TotalRanks(); gr++ {
+		if !d.dev.FailedGlobal(gr) || d.retired[gr] || d.allocated[gr] == 0 {
+			continue
+		}
+		// Find the first live segment still resident on the failed rank.
+		ch, rk := d.codec.SplitGlobalRank(gr)
+		hsn := dsnFree
+		for idx := int64(0); idx < g.SegmentsPerRank(); idx++ {
+			dsn := d.codec.EncodeDSN(dram.Loc{Channel: ch, Rank: rk, Index: idx})
+			if h := d.revMap[dsn]; h != dsnFree {
+				hsn = h
+				break
+			}
+		}
+		if hsn == dsnFree {
+			continue
+		}
+		res, err := d.Access(dram.HPA(int64(hsn)<<d.codec.SegmentShift()), false, now)
+		if err != nil {
+			continue
+		}
+		probes++
+		lat += res.TotalLat()
+	}
+	return probes, lat
 }
 
 // Tick advances time-driven machinery (profiling windows, phase

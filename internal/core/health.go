@@ -213,6 +213,10 @@ func (h *HealthMonitor) process(now sim.Time) {
 			req.attempts++
 			h.deferred.Inc()
 			h.d.tracer.RetireDeferred(req.gr, req.cause, req.backoff, now)
+			// The backoff is time the degraded rank keeps serving because
+			// retirement could not proceed — charged to the fault path.
+			h.d.chargeSpan(telemetry.SystemVM, req.gr, telemetry.CauseFaultRetry,
+				now, now+req.backoff, 0)
 			req.nextTry = now + req.backoff
 			if req.backoff < h.cfg.RetryBackoffMax {
 				req.backoff *= 2

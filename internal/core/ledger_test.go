@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+	"dtl/internal/telemetry"
+)
+
+// TestLedgerForegroundConservation checks the attribution plane's core
+// identity on the access path: baseline + smc-miss-walk + self-refresh-wake
+// + degraded-read latency in the ledger equals the summed TotalLat of every
+// access, exactly (integer nanoseconds, no tolerance).
+func TestLedgerForegroundConservation(t *testing.T) {
+	d := newTestDTL(t)
+	led := d.StartLedger()
+	a := mustAlloc(t, d, 1, 0, 32*dram.MiB, 0)
+
+	var want int64
+	now := sim.Time(0)
+	for i := 0; i < 200; i++ {
+		// Stride across both AUs so SMC misses, wakes (after the power
+		// manager demotes idle ranks), and plain hits all occur.
+		addr := a.AUBases[i%len(a.AUBases)] + dram.HPA(int64(i)*4096)
+		res, err := d.Access(addr, i%3 == 0, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += int64(res.TotalLat())
+		now += 50 * sim.Microsecond
+		d.Tick(now)
+	}
+
+	totals := led.CauseTotals()
+	foreground := [...]telemetry.Cause{
+		telemetry.CauseBaseline, telemetry.CauseSMCMissWalk,
+		telemetry.CauseSelfRefreshWake, telemetry.CauseDegradedRead,
+	}
+	var got int64
+	for _, c := range foreground {
+		got += totals[c].LatNs
+	}
+	if got != want {
+		t.Fatalf("foreground ledger latency = %d ns, accesses paid %d ns", got, want)
+	}
+	if totals[telemetry.CauseSMCMissWalk].LatNs == 0 {
+		t.Fatal("no smc-miss-walk latency attributed; striding should miss the SMC")
+	}
+	// Foreground charges carry no energy: energy enters via migration spans
+	// and ChargeResidency only.
+	for _, c := range foreground {
+		if totals[c].Energy != 0 {
+			t.Fatalf("foreground cause %v charged energy %g", c, totals[c].Energy)
+		}
+	}
+}
+
+// TestLedgerChargesTenantsByOwner checks that access costs land on the VM
+// that owns the accessed AU, not on a neighbor or the system account.
+func TestLedgerChargesTenantsByOwner(t *testing.T) {
+	d := newTestDTL(t)
+	led := d.StartLedger()
+	a1 := mustAlloc(t, d, 1, 0, 16*dram.MiB, 0)
+	a2 := mustAlloc(t, d, 2, 0, 16*dram.MiB, 0)
+
+	if _, err := d.Access(a1.AUBases[0], false, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Access(a2.AUBases[0], false, 200); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[int64]bool{}
+	for _, e := range led.Snapshot().Entries {
+		seen[e.VM] = true
+		if e.VM != 1 && e.VM != 2 {
+			t.Fatalf("charge landed on unexpected VM %d: %+v", e.VM, e)
+		}
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("expected charges for both tenants, got %v", seen)
+	}
+
+	// After deallocation the AU ownership reverts to the system account.
+	mustDealloc(t, d, 2, 300)
+	before := led.CauseTotals()
+	_ = before
+	if owner := d.ownerOf(d.codec.HostSegmentOf(a2.AUBases[0])); owner != telemetry.SystemVM {
+		t.Fatalf("freed AU still owned by VM %d", owner)
+	}
+}
+
+// TestLedgerMigrationEnergyMatchesBytes checks the background identity: the
+// summed energy of migration-cause spans equals ActivePowerPerGBs x bytes
+// actually migrated, and stall/fault spans never add energy of their own.
+func TestLedgerMigrationEnergyMatchesBytes(t *testing.T) {
+	d := newTestDTL(t)
+	led := d.StartLedger()
+	now := sim.Time(0)
+	// Small VMs straddle the rank group a large departure empties, so the
+	// consolidation drain has to copy their segments (see
+	// TestMigrationChargedToMigrator for the same scenario).
+	mustAlloc(t, d, 1, 0, 16*dram.MiB, now)
+	mustAlloc(t, d, 2, 0, 480*dram.MiB, now)
+	mustAlloc(t, d, 3, 0, 16*dram.MiB, now)
+	mustDealloc(t, d, 2, 1000)
+	for i := 0; i < 400; i++ {
+		now += 10 * sim.Millisecond
+		d.Tick(now)
+	}
+	bytes := d.Stats().BytesMigrated
+	if bytes == 0 {
+		t.Fatal("consolidation drain did not migrate anything")
+	}
+	want := d.dev.Power().ActivePowerPerGBs * float64(bytes)
+	totals := led.CauseTotals()
+	got := totals[telemetry.CauseMigrationCopy].Energy +
+		totals[telemetry.CauseDemotionWait].Energy +
+		totals[telemetry.CauseFaultRetry].Energy
+	if diff := got - want; diff > 1e-9*want || diff < -1e-9*want {
+		t.Fatalf("migration energy = %g, want %g (%d bytes)", got, want, bytes)
+	}
+	if totals[telemetry.CauseMigrationStall].Energy != 0 {
+		t.Fatalf("stall spans charged energy %g", totals[telemetry.CauseMigrationStall].Energy)
+	}
+}
+
+// TestAttributedAccessDoesNotAllocate locks in the hot-path constraint: an
+// SMC-hit access with a ledger attached stays allocation-free once the VM's
+// cell block exists.
+func TestAttributedAccessDoesNotAllocate(t *testing.T) {
+	d := newTestDTL(t)
+	d.StartLedger()
+	a := mustAlloc(t, d, 1, 0, 16*dram.MiB, 0)
+	base := a.AUBases[0]
+	now := sim.Time(0)
+	if _, err := d.Access(base, false, now); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		now += 10
+		if _, err := d.Access(base, false, now); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("attributed access allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestLedgerArtifactDeterminism runs the same access history twice and
+// demands byte-identical WriteJSON artifacts.
+func TestLedgerArtifactDeterminism(t *testing.T) {
+	run := func() []byte {
+		d, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		led := d.StartLedger()
+		a, err := d.AllocateVM(1, 0, 32*dram.MiB, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := sim.Time(0)
+		for i := 0; i < 100; i++ {
+			if _, err := d.Access(a.AUBases[i%len(a.AUBases)]+dram.HPA(int64(i)*8192), i%2 == 0, now); err != nil {
+				t.Fatal(err)
+			}
+			now += sim.Millisecond
+			d.Tick(now)
+		}
+		var buf bytes.Buffer
+		if err := led.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical runs produced different ledger artifacts")
+	}
+}

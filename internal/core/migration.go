@@ -110,6 +110,35 @@ func (m *migrator) enqueueCopy(src, dst dram.DSN, now sim.Time, reason string) {
 	m.stats.BytesQueued += m.d.cfg.Geometry.SegmentBytes
 	m.latency.Observe(float64(w.end - now))
 	m.d.tracer.Migration(ch, int64(src), int64(dst), reason, w.start, w.end)
+	if m.d.ledger != nil {
+		// Charge the copy window (latency) and the active energy of moving
+		// one segment to the destination rank, attributed to the VM whose
+		// data is moving (SystemVM for unowned segments).
+		dloc := m.d.codec.DecodeDSN(dst)
+		gr := m.d.codec.GlobalRank(dloc.Channel, dloc.Rank)
+		vm := telemetry.SystemVM
+		if hsn := m.d.revMap[dst]; hsn != dsnFree {
+			vm = m.d.ownerOf(hsn)
+		} else if hsn := m.d.revMap[src]; hsn != dsnFree {
+			vm = m.d.ownerOf(hsn)
+		}
+		m.d.chargeSpan(vm, gr, causeForReason(reason), w.start, w.end, m.d.migEnergyPerSeg)
+	}
+}
+
+// causeForReason maps a migration reason tag to its attribution cause:
+// power-down drains are the demotion machinery, verify re-routes and
+// retirement drains are the fault path, and everything else (hotness swaps
+// and moves, manual migrations) is a plain background copy.
+func causeForReason(reason string) telemetry.Cause {
+	switch reason {
+	case "powerdown-drain":
+		return telemetry.CauseDemotionWait
+	case "verify-reroute", "retire":
+		return telemetry.CauseFaultRetry
+	default:
+		return telemetry.CauseMigrationCopy
+	}
 }
 
 // enqueueSwap schedules a bidirectional exchange (two segment copies).
@@ -231,6 +260,7 @@ func (m *migrator) onForegroundAccess(dsn dram.DSN, write bool, now sim.Time) {
 			w.end = start + w.dur
 			m.busyUntil[ch] = w.end
 			m.busyNs[ch] += w.dur
+			m.chargeStall(w, now)
 			continue
 		}
 		w.start = now
@@ -239,7 +269,27 @@ func (m *migrator) onForegroundAccess(dsn dram.DSN, write bool, now sim.Time) {
 			m.busyUntil[ch] = w.end
 		}
 		m.busyNs[ch] += w.dur
+		m.chargeStall(w, now)
 	}
+}
+
+// chargeStall books the delay a foreground write-conflict added to an
+// in-flight migration (abort-restart or tail requeue) as migration-stall:
+// the span runs from the conflicting write to the rescheduled window's new
+// end. The copy energy was charged at enqueue, so stalls carry none.
+func (m *migrator) chargeStall(w *inflight, now sim.Time) {
+	if m.d.ledger == nil {
+		return
+	}
+	dloc := m.d.codec.DecodeDSN(w.dst)
+	gr := m.d.codec.GlobalRank(dloc.Channel, dloc.Rank)
+	vm := telemetry.SystemVM
+	if hsn := m.d.revMap[w.dst]; hsn != dsnFree {
+		vm = m.d.ownerOf(hsn)
+	} else if hsn := m.d.revMap[w.src]; hsn != dsnFree {
+		vm = m.d.ownerOf(hsn)
+	}
+	m.d.chargeSpan(vm, gr, telemetry.CauseMigrationStall, now, w.end, 0)
 }
 
 // Migrator is the exported statistics surface of the migration engine.

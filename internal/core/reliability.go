@@ -6,6 +6,7 @@ import (
 
 	"dtl/internal/dram"
 	"dtl/internal/sim"
+	"dtl/internal/telemetry"
 )
 
 // Rank retirement is the reliability extension the paper's conclusion points
@@ -79,7 +80,7 @@ func (d *DTL) retireRank(id dram.RankID, now sim.Time, cause string) error {
 	live := d.allocated[gr]
 	if d.drainCapacityOn(id.Channel, id.Rank) < live {
 		// Try waking powered-down groups to make room.
-		for d.drainCapacityOn(id.Channel, id.Rank) < live && d.reactivateOne(now) {
+		for d.drainCapacityOn(id.Channel, id.Rank) < live && d.reactivateOne(VMID(telemetry.SystemVM), now) {
 		}
 		if d.drainCapacityOn(id.Channel, id.Rank) < live {
 			return ErrRetireCapacity

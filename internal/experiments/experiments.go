@@ -49,6 +49,13 @@ type Options struct {
 	// MetricsPath, when non-empty, receives the sampled metrics registry as
 	// CSV (one row per sample, one column per metric).
 	MetricsPath string
+	// LedgerPath, when non-empty, receives the attribution cost ledger as
+	// JSON (telemetry.LedgerSnapshot): every nanosecond of added latency
+	// and every unit of the energy proxy charged to a (vm, rank, cause)
+	// triple. Honored by the same experiments that honor TracePath; the
+	// ledger is also attached (and dumped into the trace at finish)
+	// whenever a trace or watch channel is active.
+	LedgerPath string
 	// Watch, when non-nil, receives periodic WatchSnapshots from experiments
 	// that drive a DTL device, at the metrics sampling cadence. Create it
 	// with capacity 1: the publisher coalesces (replaces a stale undelivered

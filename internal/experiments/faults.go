@@ -11,8 +11,11 @@ import (
 // caller did not supply one: an ECC storm on a populated rank ninety minutes
 // in (2000 correctable errors/s for one minute — far past the health
 // monitor's leaky bucket), then a whole-rank failure at the three-hour mark.
+// The kill targets ch0/rk0 — under power-down consolidation the first rank
+// of a channel always holds live data, so the failure exercises the full
+// degraded-serve-then-drain path rather than retiring an empty rank.
 func defaultFaultSpec(seed int64) string {
-	return fmt.Sprintf("seed=%d;storm:ch1/rk2:at=90m,rate=2000,dur=60s;kill:ch3/rk1:at=3h", seed)
+	return fmt.Sprintf("seed=%d;storm:ch1/rk2:at=90m,rate=2000,dur=60s;kill:ch0/rk0:at=3h", seed)
 }
 
 // Faults runs the 6-hour power-down schedule under injected faults and
@@ -58,6 +61,7 @@ func Faults(o Options) Result {
 	tab.AddRowf("migration verify failures\t%d", run.migStats.VerifyFailures)
 	tab.AddRowf("migration re-routes\t%d", run.migStats.Reroutes)
 	tab.AddRowf("migration verify give-ups\t%d", run.migStats.VerifyGiveups)
+	tab.AddRowf("degraded-rank health probes\t%d", run.degradedProbes)
 	tab.AddRowf("read-probe failures (data loss)\t%d", run.probeFailures)
 	tab.Render(w)
 
@@ -78,6 +82,9 @@ func Faults(o Options) Result {
 	res.Metrics["vms_shed"] = float64(run.shedVMs)
 	res.Metrics["verify_reroutes"] = float64(run.migStats.Reroutes)
 	res.Metrics["probe_failures"] = float64(run.probeFailures)
+	res.Metrics["degraded_probes"] = float64(run.degradedProbes)
+	res.Metrics["probe_lat_ns"] = float64(run.probeLatNs)
+	res.Metrics["bytes_migrated"] = float64(run.bytesMigrated)
 	res.Metrics["energy_saving"] = saving
 	res.footer(w)
 	return res

@@ -56,6 +56,8 @@ type pdRun struct {
 	migrationSpans  int            // intervals with migration activity
 	perfOverhead    float64
 	bytesMigrated   int64
+	probeLatNs      int64 // summed latency of health-plane degraded probes
+	degradedProbes  int   // probes issued against failed-but-live ranks
 
 	// Reliability outcomes, populated when Options.FaultSpec is set.
 	faultStats    fault.Stats
@@ -129,6 +131,15 @@ func runPowerDownSchedule(o Options) pdRun {
 		o.checkCanceled()
 		if feng != nil {
 			feng.RunUntil(t)
+			// Health-plane probe: one read per failed rank still holding live
+			// data, BEFORE the event loop and Tick can drain and retire it (a
+			// departure's DeallocateVM already processes deferred retirements)
+			// — so the attribution ledger observes the degraded-read penalty
+			// the tenants are paying.
+			if n, lat := d.ProbeDegraded(t); n > 0 {
+				run.degradedProbes += n
+				run.probeLatNs += int64(lat)
+			}
 		}
 		for ei < len(events) && events[ei].At <= t {
 			ev := events[ei]
@@ -207,9 +218,12 @@ func runPowerDownSchedule(o Options) pdRun {
 				panic(err)
 			}
 			for _, a := range addrs {
-				if _, err := d.Access(a, false, genCfg.Horizon); err != nil {
+				res, err := d.Access(a, false, genCfg.Horizon)
+				if err != nil {
 					run.probeFailures++
+					continue
 				}
+				run.probeLatNs += int64(res.TotalLat())
 			}
 		}
 		if err := d.CheckInvariants(); err != nil {

@@ -83,8 +83,10 @@ func Fig9(o Options) Result {
 	fmt.Fprintf(w, "\nmix-8 share of >=4MB strides: %s (paper: 89.3%%)\n", pct(mixDist[last]))
 	res.Metrics["mix8_ge4mb_share"] = mixDist[last]
 
-	if o.TracePath != "" || o.MetricsPath != "" {
-		fig9TraceReplay(o, profiles, n)
+	if o.TracePath != "" || o.MetricsPath != "" || o.LedgerPath != "" {
+		lat, migBytes := fig9TraceReplay(o, profiles, n)
+		res.Metrics["replay_lat_ns"] = float64(lat)
+		res.Metrics["bytes_migrated"] = float64(migBytes)
 	}
 	res.footer(w)
 	return res
@@ -92,10 +94,11 @@ func Fig9(o Options) Result {
 
 // fig9TraceReplay drives the mix-8 trace through an actual DTL device with
 // telemetry attached. The stride distribution above comes from the raw
-// generators (unchanged by this); a -trace/-metrics run additionally
+// generators (unchanged by this); a -trace/-metrics/-ledger run additionally
 // captures the SMC miss and translation behavior those strides induce on
-// the translation layer.
-func fig9TraceReplay(o Options, profiles []trace.Profile, n int) {
+// the translation layer. It reports the summed access latency and the bytes
+// migrated, the ground truths the ledger-conservation tests check against.
+func fig9TraceReplay(o Options, profiles []trace.Profile, n int) (int64, int64) {
 	var foot int64
 	for _, p := range profiles {
 		foot += p.FootprintBytes
@@ -128,15 +131,19 @@ func fig9TraceReplay(o Options, profiles []trace.Profile, n int) {
 	mix := trace.MustMixed(profiles, o.Seed)
 	const gapNs = 2 // >30 GB/s of 64 B accesses, as in §5.2
 	now := sim.Time(0)
+	var totalLat int64
 	for i := 0; i < n; i++ {
 		a := mix.Next()
-		if _, err := d.Access(base+dram.HPA(a.Addr), a.Write, now); err != nil {
+		res, err := d.Access(base+dram.HPA(a.Addr), a.Write, now)
+		if err != nil {
 			panic(err)
 		}
+		totalLat += int64(res.TotalLat())
 		now += gapNs
 		rt.tick(now)
 	}
 	if err := rt.finish(now); err != nil {
 		panic(err)
 	}
+	return totalLat, d.Stats().BytesMigrated
 }

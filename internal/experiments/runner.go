@@ -39,9 +39,11 @@ func RunAll(runners []Runner, opts Options, parallel int) []Result {
 	}
 
 	// Watch joins the single-file sinks here: interleaved snapshots from
-	// concurrent experiments would make the dashboard meaningless.
+	// concurrent experiments would make the dashboard meaningless. The
+	// ledger is a single shared file too.
 	opts.TracePath = ""
 	opts.MetricsPath = ""
+	opts.LedgerPath = ""
 	opts.Watch = nil
 
 	bufs := make([]*bytes.Buffer, len(runners))

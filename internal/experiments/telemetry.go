@@ -17,10 +17,12 @@ import (
 type runTelemetry struct {
 	tracePath   string
 	metricsPath string
+	ledgerPath  string
 
 	d       *core.DTL // nil for registry-only runs (no tracer source)
 	reg     *telemetry.Registry
 	tr      *telemetry.Tracer
+	led     *telemetry.Ledger
 	eng     *sim.Engine
 	stop    func()
 	horizon sim.Time // run horizon for watch ETA; 0 = unknown
@@ -52,12 +54,13 @@ type runTelemetry struct {
 // all runs). horizon is the run end if the experiment knows it up front (for
 // the watch ETA); 0 means unknown.
 func (o Options) telemetryFor(d *core.DTL, defaultPeriod, horizon sim.Time) *runTelemetry {
-	if o.TracePath == "" && o.MetricsPath == "" && o.Watch == nil {
+	if o.TracePath == "" && o.MetricsPath == "" && o.LedgerPath == "" && o.Watch == nil {
 		return nil
 	}
 	rt := &runTelemetry{
 		tracePath:   o.TracePath,
 		metricsPath: o.MetricsPath,
+		ledgerPath:  o.LedgerPath,
 		d:           d,
 		reg:         d.Registry(),
 		eng:         sim.NewEngine(),
@@ -83,6 +86,12 @@ func (o Options) telemetryFor(d *core.DTL, defaultPeriod, horizon sim.Time) *run
 				}
 			}
 		}
+	}
+	// The cost ledger rides along whenever any attribution consumer is
+	// active: an explicit -ledger file, a trace (which receives the ledger
+	// dump at finish), or a watch pane.
+	if o.LedgerPath != "" || o.TracePath != "" || o.Watch != nil {
+		rt.led = d.StartLedger()
 	}
 	rt.startSampling(o, defaultPeriod)
 	rt.startWatch(o, defaultPeriod)
@@ -162,6 +171,13 @@ func (rt *runTelemetry) finish(horizon sim.Time) error {
 	}
 	if rt.tr != nil {
 		rt.tr.Finish(horizon)
+		if rt.led != nil {
+			// Fold the run's background-energy proxy (finished power
+			// spans) into the ledger, then dump the per-cell totals into
+			// the trace so any trace consumer can rebuild attribution.
+			rt.led.ChargeResidency(rt.tr, nil)
+			rt.led.EmitTo(rt.tr, horizon)
+		}
 		rt.d.AttachTracer(nil)
 		if rt.traceFormat == telemetry.FormatChrome {
 			if err := writeTo(rt.tracePath, func(f *os.File) error {
@@ -171,6 +187,16 @@ func (rt *runTelemetry) finish(horizon sim.Time) error {
 			}
 		} else if err := rt.closeTrace(); err != nil {
 			return fmt.Errorf("experiments: writing trace: %w", err)
+		}
+	}
+	if rt.led != nil {
+		rt.d.AttachLedger(nil)
+		if rt.ledgerPath != "" {
+			if err := writeTo(rt.ledgerPath, func(f *os.File) error {
+				return rt.led.WriteJSON(f)
+			}); err != nil {
+				return fmt.Errorf("experiments: writing ledger: %w", err)
+			}
 		}
 	}
 	if rt.metricsPath != "" {
@@ -236,6 +262,7 @@ func writeTo(path string, fn func(*os.File) error) error {
 func (o Options) withoutTelemetry() Options {
 	o.TracePath = ""
 	o.MetricsPath = ""
+	o.LedgerPath = ""
 	o.Watch = nil
 	return o
 }

@@ -4,6 +4,7 @@ import (
 	"dtl/internal/core"
 	"dtl/internal/dram"
 	"dtl/internal/sim"
+	"dtl/internal/telemetry"
 )
 
 // Live progress snapshots for `dtlsim -watch`. The sim goroutine publishes a
@@ -34,7 +35,18 @@ type WatchSnapshot struct {
 	Faults     int64 // device fault reports seen by the health monitor
 	Retired    int   // ranks permanently offline
 
+	// Attr is the cost ledger's running per-cause totals (nonzero causes
+	// only, taxonomy order); empty when no ledger is attached.
+	Attr []WatchAttr
+
 	Done bool // final snapshot, published as the run finishes
+}
+
+// WatchAttr is one cause's cumulative attribution cost.
+type WatchAttr struct {
+	Cause  string
+	LatNs  int64
+	Energy float64
 }
 
 // snapshotDTL reads one WatchSnapshot off the live device. Counter reads go
@@ -59,6 +71,18 @@ func snapshotDTL(d *core.DTL, label string, now, horizon sim.Time, done bool) Wa
 		Faults:     reg.Counter("core.health.fault_events").Value(),
 		Retired:    len(retired),
 		Done:       done,
+	}
+	if led := d.Ledger(); led != nil {
+		totals := led.CauseTotals()
+		for c := telemetry.Cause(0); int(c) < telemetry.NumCauses; c++ {
+			cell := totals[c]
+			if cell.LatNs == 0 && cell.Energy == 0 {
+				continue
+			}
+			snap.Attr = append(snap.Attr, WatchAttr{
+				Cause: c.String(), LatNs: cell.LatNs, Energy: cell.Energy,
+			})
+		}
 	}
 	// Global-rank order matches the tracer: rank*Channels + channel.
 	for rk := 0; rk < g.RanksPerChannel; rk++ {

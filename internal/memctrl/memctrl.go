@@ -42,6 +42,9 @@ type Result struct {
 	// exit self-refresh (MPSM ranks hold no live data; an access to one is
 	// a model bug and panics).
 	WakeDelay sim.Time
+	// Degraded is the extra repair/retry latency charged because the target
+	// rank is in the failed state; zero on healthy ranks.
+	Degraded sim.Time
 }
 
 // Latency reports the request's total latency.
@@ -168,8 +171,10 @@ func (c *Controller) Access(req Request) Result {
 	}
 	// A failed rank still serves data but in degraded mode: every access
 	// pays the repair/retry penalty until the DTL evacuates the rank.
+	var degraded sim.Time
 	if c.dev.FailedGlobal(gr) {
-		accessLat += c.tim.DegradedAccess
+		degraded = c.tim.DegradedAccess
+		accessLat += degraded
 		c.degradedCount.Inc()
 	}
 
@@ -206,7 +211,7 @@ func (c *Controller) Access(req Request) Result {
 	c.lifetime[gr].Accesses++
 	c.lifetime[gr].Bytes += LineBytes
 
-	return Result{Start: start, Done: done, RowHit: rowHit, WakeDelay: wake}
+	return Result{Start: start, Done: done, RowHit: rowHit, WakeDelay: wake, Degraded: degraded}
 }
 
 // EnableRefresh turns on periodic refresh stalls: each standby rank is

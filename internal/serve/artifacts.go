@@ -20,6 +20,7 @@ import (
 //
 //	trace.<ext>    the run trace in the requested encoding
 //	metrics.csv    the sampled metrics registry
+//	ledger.json    the (vm, rank, cause) attribution cost ledger
 //	summary.json   telemetry.TraceSummary of the trace (the diff input)
 //
 // JSON artifacts are marshaled with sorted map keys (encoding/json's map
@@ -48,7 +49,7 @@ func (s *Server) ingestArtifacts(j *job, work string, report []byte, res experim
 	}
 
 	traceName := j.spec.traceArtifactName()
-	for _, name := range []string{traceName, "metrics.csv"} {
+	for _, name := range []string{traceName, "metrics.csv", "ledger.json"} {
 		path := filepath.Join(work, name)
 		if _, err := os.Stat(path); err != nil {
 			continue // the experiment does not drive this sink

@@ -3,11 +3,14 @@ package serve
 import (
 	"fmt"
 	"io"
+	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dtl/internal/metrics"
+	"dtl/internal/telemetry"
 )
 
 // serverMetrics backs GET /metrics: queue and worker gauges, admission and
@@ -25,6 +28,41 @@ type serverMetrics struct {
 
 	mu        sync.Mutex
 	durations []float64 // seconds, newest last, capped
+	// attr accumulates the per-cause attribution totals of every done job's
+	// cost ledger (virtual-time nanoseconds and energy-proxy units).
+	attr map[string]attrTotal
+}
+
+// attrTotal is one cause's accumulated attribution cost across done jobs.
+type attrTotal struct {
+	latNs  int64
+	energy float64
+}
+
+// addLedger folds a finished job's ledger artifact into the per-cause
+// counters; missing or unreadable ledgers (experiments without a DTL) are
+// silently skipped — /metrics only ever reports what actually ran.
+func (m *serverMetrics) addLedger(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	snap, err := telemetry.ParseLedgerSnapshot(f)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.attr == nil {
+		m.attr = map[string]attrTotal{}
+	}
+	for _, c := range snap.Causes {
+		t := m.attr[c.Cause]
+		t.latNs += c.LatNs
+		t.energy += c.Energy
+		m.attr[c.Cause] = t
+	}
 }
 
 // durationWindow bounds the latency sample; old jobs age out so the
@@ -77,7 +115,35 @@ func (m *serverMetrics) writeMetrics(w io.Writer, queueDepth, queueCap int, work
 
 	m.mu.Lock()
 	durs := append([]float64(nil), m.durations...)
+	causes := make([]string, 0, len(m.attr))
+	for c := range m.attr {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	attr := make([]struct {
+		cause string
+		t     attrTotal
+	}, 0, len(causes))
+	for _, c := range causes {
+		attr = append(attr, struct {
+			cause string
+			t     attrTotal
+		}{c, m.attr[c]})
+	}
 	m.mu.Unlock()
+
+	if len(attr) > 0 {
+		fmt.Fprintf(w, "# HELP dtlserved_attr_latency_ns_total Attributed virtual-time latency by cause, summed over done jobs.\n")
+		fmt.Fprintf(w, "# TYPE dtlserved_attr_latency_ns_total counter\n")
+		for _, a := range attr {
+			fmt.Fprintf(w, "dtlserved_attr_latency_ns_total{cause=%q} %d\n", a.cause, a.t.latNs)
+		}
+		fmt.Fprintf(w, "# HELP dtlserved_attr_energy_total Attributed energy-proxy units by cause, summed over done jobs.\n")
+		fmt.Fprintf(w, "# TYPE dtlserved_attr_energy_total counter\n")
+		for _, a := range attr {
+			fmt.Fprintf(w, "dtlserved_attr_energy_total{cause=%q} %g\n", a.cause, a.t.energy)
+		}
+	}
 	fmt.Fprintf(w, "# HELP dtlserved_job_duration_seconds Wall-clock job latency (recent-window percentiles).\n")
 	fmt.Fprintf(w, "# TYPE dtlserved_job_duration_seconds summary\n")
 	if len(durs) > 0 {

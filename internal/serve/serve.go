@@ -260,6 +260,7 @@ func (s *Server) run(j *job) {
 	pol, _ := experiments.ParsePolicy(j.spec.Policy)
 	tracePath := filepath.Join(work, j.spec.traceArtifactName())
 	metricsPath := filepath.Join(work, "metrics.csv")
+	ledgerPath := filepath.Join(work, "ledger.json")
 
 	// The watch stream: the experiment publishes on a cap-1 coalescing
 	// channel exactly as under `dtlsim -watch`; the broadcaster fans
@@ -282,6 +283,7 @@ func (s *Server) run(j *job) {
 		TracePath:   tracePath,
 		TraceFormat: format,
 		MetricsPath: metricsPath,
+		LedgerPath:  ledgerPath,
 		FaultSpec:   j.spec.Faults,
 		Policy:      pol,
 		Parallel:    j.spec.Parallel,
@@ -320,6 +322,7 @@ func (s *Server) run(j *job) {
 			finish(StateFailed, err.Error(), &res, nil)
 			return
 		}
+		s.met.addLedger(ledgerPath)
 		finish(StateDone, "", &res, arts)
 	}
 }

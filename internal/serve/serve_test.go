@@ -67,8 +67,8 @@ func TestSubmitRunFetchArtifacts(t *testing.T) {
 	}
 
 	want := map[string]bool{
-		"report.txt": false, "result.json": false,
-		"trace.jsonl": false, "metrics.csv": false, "summary.json": false,
+		"report.txt": false, "result.json": false, "trace.jsonl": false,
+		"metrics.csv": false, "ledger.json": false, "summary.json": false,
 	}
 	for _, a := range final.Artifacts {
 		if _, ok := want[a.Name]; !ok {

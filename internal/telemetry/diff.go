@@ -59,6 +59,9 @@ type DiffTolerance struct {
 	LatFrac float64
 	// EnergyFrac is the maximum relative drift of the energy proxy.
 	EnergyFrac float64
+	// AttrFrac is the maximum relative shift of any per-cause attribution
+	// total (latency or energy) from the ledger dump.
+	AttrFrac float64
 }
 
 // ShareDelta is one state's residency share in both runs.
@@ -94,6 +97,37 @@ func (d PercentileDelta) Shift() float64 {
 	return (d.B - d.A) / d.A
 }
 
+// CauseDelta is one attribution cause's ledger total in both runs.
+type CauseDelta struct {
+	Cause            string
+	LatA, LatB       int64   // nanoseconds
+	EnergyA, EnergyB float64 // energy-proxy units
+}
+
+// LatShift reports the relative latency change (B-A)/A, or 0 when both are
+// zero; a cost appearing from nothing counts as a full shift.
+func (d CauseDelta) LatShift() float64 {
+	if d.LatA == 0 {
+		if d.LatB == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(d.LatB-d.LatA) / float64(d.LatA)
+}
+
+// EnergyShift reports the relative energy change (B-A)/A, with the same
+// zero conventions as LatShift.
+func (d CauseDelta) EnergyShift() float64 {
+	if d.EnergyA == 0 {
+		if d.EnergyB == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (d.EnergyB - d.EnergyA) / d.EnergyA
+}
+
 // SummaryDiff is the structured comparison of two trace summaries.
 type SummaryDiff struct {
 	States    []string     // union of state names, sorted
@@ -111,6 +145,10 @@ type SummaryDiff struct {
 
 	// Points maps event name → [countA, countB] for the instant events.
 	Points map[string][2]int
+
+	// Causes compares per-cause attribution totals when either trace
+	// carries a ledger dump, in cause-taxonomy order.
+	Causes []CauseDelta
 }
 
 // aggregateShares computes device-wide residency share per state.
@@ -224,7 +262,47 @@ func DiffSummaries(a, b *TraceSummary) *SummaryDiff {
 	for n := range nameSet {
 		d.Points[n] = [2]int{a.Points[n], b.Points[n]}
 	}
+
+	d.Causes = diffCauses(a.Attribution, b.Attribution)
 	return d
+}
+
+// diffCauses folds two ledger dumps into per-cause totals and pairs them.
+func diffCauses(a, b []LedgerEntry) []CauseDelta {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	totals := map[string]*CauseDelta{}
+	for _, e := range a {
+		cd := totals[e.Cause]
+		if cd == nil {
+			cd = &CauseDelta{Cause: e.Cause}
+			totals[e.Cause] = cd
+		}
+		cd.LatA += e.LatNs
+		cd.EnergyA += e.Energy
+	}
+	for _, e := range b {
+		cd := totals[e.Cause]
+		if cd == nil {
+			cd = &CauseDelta{Cause: e.Cause}
+			totals[e.Cause] = cd
+		}
+		cd.LatB += e.LatNs
+		cd.EnergyB += e.Energy
+	}
+	out := make([]CauseDelta, 0, len(totals))
+	for _, cd := range totals {
+		out = append(out, *cd)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := causeRank(out[i].Cause), causeRank(out[j].Cause)
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	return out
 }
 
 // EnergyDelta is the relative energy-proxy change (B-A)/A.
@@ -297,6 +375,18 @@ func (d *SummaryDiff) Check(tol DiffTolerance) []string {
 	if tol.EnergyFrac > 0 && abs(d.EnergyDelta()) > tol.EnergyFrac {
 		bad = append(bad, fmt.Sprintf("energy proxy drift %+.2f%% exceeds ±%.2f%%",
 			100*d.EnergyDelta(), 100*tol.EnergyFrac))
+	}
+	if tol.AttrFrac > 0 {
+		for _, cd := range d.Causes {
+			if abs(cd.LatShift()) > tol.AttrFrac {
+				bad = append(bad, fmt.Sprintf("attribution %s latency shift %+.1f%% exceeds ±%.1f%%",
+					cd.Cause, 100*cd.LatShift(), 100*tol.AttrFrac))
+			}
+			if abs(cd.EnergyShift()) > tol.AttrFrac {
+				bad = append(bad, fmt.Sprintf("attribution %s energy shift %+.1f%% exceeds ±%.1f%%",
+					cd.Cause, 100*cd.EnergyShift(), 100*tol.AttrFrac))
+			}
+		}
 	}
 	return bad
 }

@@ -1,0 +1,421 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dtl/internal/sim"
+)
+
+// Cause classifies where an attributed cost came from: every nanosecond of
+// added latency and every unit of the energy proxy the ledger records is
+// charged to exactly one cause, so per-cause costs sum to the ledger totals
+// (the conservation property DESIGN.md §12 documents and tests enforce).
+type Cause uint8
+
+const (
+	// CauseBaseline is the cost any access pays on healthy, awake hardware:
+	// the L1 SMC hit plus plain DRAM service latency. For the pseudo-VM
+	// SystemVM it also carries the residency-weighted background energy.
+	CauseBaseline Cause = iota
+	// CauseSMCMissWalk is translation latency beyond the L1 hit: L2 lookups
+	// and the full miss-path table walk.
+	CauseSMCMissWalk
+	// CauseSelfRefreshWake is the self-refresh exit penalty charged to the
+	// access that woke the rank.
+	CauseSelfRefreshWake
+	// CauseDegradedRead is the repair/retry penalty of accessing a failed
+	// rank in degraded mode (reads and writes alike).
+	CauseDegradedRead
+	// CauseMigrationCopy is a background segment copy scheduled by the
+	// hotness engine (swap/move traffic).
+	CauseMigrationCopy
+	// CauseMigrationStall is copy time re-spent because a foreground write
+	// aborted or re-queued an in-flight migration (§4.2 protocol).
+	CauseMigrationStall
+	// CauseDemotionWait is power-down consolidation cost: drain copies into
+	// MPSM and the reactivation wake an allocation pays to get ranks back.
+	CauseDemotionWait
+	// CauseFaultRetry is reliability-loop work: verify-after-copy re-routes,
+	// retirement drains, and deferred-retirement backoffs.
+	CauseFaultRetry
+)
+
+// NumCauses is the number of defined causes.
+const NumCauses = int(CauseFaultRetry) + 1
+
+// String spells the cause the way trace records and dtlstat render it.
+func (c Cause) String() string {
+	switch c {
+	case CauseBaseline:
+		return "baseline"
+	case CauseSMCMissWalk:
+		return "smc-miss-walk"
+	case CauseSelfRefreshWake:
+		return "self-refresh-wake"
+	case CauseDegradedRead:
+		return "degraded-read"
+	case CauseMigrationCopy:
+		return "migration-copy"
+	case CauseMigrationStall:
+		return "migration-stall"
+	case CauseDemotionWait:
+		return "demotion-wait"
+	case CauseFaultRetry:
+		return "fault-retry"
+	default:
+		return fmt.Sprintf("Cause(%d)", int(c))
+	}
+}
+
+// ParseCause maps a cause name back to its code.
+func ParseCause(s string) (Cause, bool) {
+	for c := Cause(0); int(c) < NumCauses; c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// SystemVM is the pseudo-VM charged for costs not attributable to a single
+// tenant: background residency energy, health-monitor work, copies of
+// already-freed segments.
+const SystemVM int64 = -1
+
+// LedgerCell is one accumulated (latency, energy) charge bucket. Latency is
+// integer nanoseconds of virtual time; energy is normalized power units ×
+// nanoseconds (1000 × the weight-microseconds EnergyProxy reports), the same
+// scale the fig12 power math uses.
+type LedgerCell struct {
+	LatNs  int64   `json:"lat_ns"`
+	Energy float64 `json:"energy"`
+}
+
+// zero reports whether the cell carries no cost.
+func (c LedgerCell) zero() bool { return c.LatNs == 0 && c.Energy == 0 }
+
+// AttrSpan is one closed attribution span recorded by Ledger.End, ring-
+// buffered like the Tracer's events.
+type AttrSpan struct {
+	VM     int64
+	Rank   int
+	Cause  Cause
+	Start  sim.Time
+	End    sim.Time
+	Energy float64
+}
+
+// Duration reports the span length (the latency it charged).
+func (s AttrSpan) Duration() sim.Time { return s.End - s.Start }
+
+// SpanToken is the value Begin hands out and End consumes; being a plain
+// value, opening a span never touches the heap.
+type SpanToken struct {
+	VM    int64
+	Rank  int
+	Cause Cause
+	Start sim.Time
+}
+
+// LedgerConfig sizes a Ledger for a device.
+type LedgerConfig struct {
+	// Ranks is the number of global ranks; each VM gets a dense cell block
+	// over (rank, cause), with one extra slot for rank -1 (not rank-scoped).
+	Ranks int
+	// SpanCapacity bounds the attribution-span ring; 0 selects
+	// DefaultSpanCapacity. The ring overwrites oldest-first like the Tracer.
+	SpanCapacity int
+}
+
+// DefaultSpanCapacity is the default attribution-span ring size.
+const DefaultSpanCapacity = 1 << 14
+
+// Ledger is the cost ledger of the attribution plane: it charges latency
+// and energy-proxy costs to (vm, rank, cause) triples. All methods are
+// nil-receiver-safe no-ops, and Charge on a known VM is allocation-free, so
+// model code can call it unconditionally on the access hot path.
+//
+// The ledger is pure accounting: it never mutates model state, so attaching
+// one cannot perturb byte-determinism of a run.
+type Ledger struct {
+	cfg LedgerConfig
+
+	// cells maps VM id → dense (rank+1)×NumCauses cell block; the block is
+	// allocated on the VM's first charge and reused for its lifetime.
+	cells   map[int64][]LedgerCell
+	byCause [NumCauses]LedgerCell
+	total   LedgerCell
+
+	spans  []AttrSpan
+	next   int   // overwrite position once the ring is full
+	nspans int64 // spans ever recorded
+}
+
+// NewLedger builds an empty ledger sized for cfg.Ranks global ranks.
+func NewLedger(cfg LedgerConfig) *Ledger {
+	if cfg.Ranks <= 0 {
+		panic(fmt.Sprintf("telemetry: ledger needs at least one rank, got %d", cfg.Ranks))
+	}
+	if cfg.SpanCapacity <= 0 {
+		cfg.SpanCapacity = DefaultSpanCapacity
+	}
+	return &Ledger{
+		cfg:   cfg,
+		cells: make(map[int64][]LedgerCell),
+		spans: make([]AttrSpan, 0, cfg.SpanCapacity),
+	}
+}
+
+// Config returns the ledger's configuration.
+func (l *Ledger) Config() LedgerConfig { return l.cfg }
+
+// Charge adds latNs nanoseconds and energy units to (vm, rank, cause).
+// rank -1 means not rank-scoped; vm SystemVM means not tenant-scoped.
+func (l *Ledger) Charge(vm int64, rank int, cause Cause, latNs int64, energy float64) {
+	if l == nil {
+		return
+	}
+	if rank < -1 || rank >= l.cfg.Ranks {
+		panic(fmt.Sprintf("telemetry: ledger charge on rank %d of %d", rank, l.cfg.Ranks))
+	}
+	cells := l.cells[vm]
+	if cells == nil {
+		cells = make([]LedgerCell, (l.cfg.Ranks+1)*NumCauses)
+		l.cells[vm] = cells
+	}
+	c := &cells[(rank+1)*NumCauses+int(cause)]
+	c.LatNs += latNs
+	c.Energy += energy
+	l.byCause[cause].LatNs += latNs
+	l.byCause[cause].Energy += energy
+	l.total.LatNs += latNs
+	l.total.Energy += energy
+}
+
+// Begin opens a virtual-time attribution span. It is pure value
+// construction; nothing is recorded until End.
+func (l *Ledger) Begin(vm int64, rank int, cause Cause, start sim.Time) SpanToken {
+	return SpanToken{VM: vm, Rank: rank, Cause: cause, Start: start}
+}
+
+// End closes a span: (end - start) nanoseconds of latency and the given
+// energy are charged to the token's triple, and the closed span enters the
+// ring buffer.
+func (l *Ledger) End(tok SpanToken, end sim.Time, energy float64) {
+	if l == nil {
+		return
+	}
+	if end < tok.Start {
+		panic(fmt.Sprintf("telemetry: attribution span ends at %v before start %v", end, tok.Start))
+	}
+	l.Charge(tok.VM, tok.Rank, tok.Cause, int64(end-tok.Start), energy)
+	sp := AttrSpan{VM: tok.VM, Rank: tok.Rank, Cause: tok.Cause, Start: tok.Start, End: end, Energy: energy}
+	if len(l.spans) < cap(l.spans) {
+		l.spans = append(l.spans, sp)
+	} else {
+		l.spans[l.next] = sp
+		l.next = (l.next + 1) % len(l.spans)
+	}
+	l.nspans++
+}
+
+// Spans returns the retained attribution spans in recording order.
+func (l *Ledger) Spans() []AttrSpan {
+	if l == nil {
+		return nil
+	}
+	if len(l.spans) < cap(l.spans) {
+		return append([]AttrSpan(nil), l.spans...)
+	}
+	out := make([]AttrSpan, 0, len(l.spans))
+	out = append(out, l.spans[l.next:]...)
+	out = append(out, l.spans[:l.next]...)
+	return out
+}
+
+// SpansTotal reports how many spans were ever recorded.
+func (l *Ledger) SpansTotal() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.nspans
+}
+
+// SpansDropped reports how many spans the ring overwrote.
+func (l *Ledger) SpansDropped() int64 {
+	if l == nil {
+		return 0
+	}
+	if d := l.nspans - int64(len(l.spans)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Total returns the grand-total cell (sum of every charge ever made).
+func (l *Ledger) Total() LedgerCell {
+	if l == nil {
+		return LedgerCell{}
+	}
+	return l.total
+}
+
+// CauseTotals returns the per-cause totals, indexed by Cause.
+func (l *Ledger) CauseTotals() [NumCauses]LedgerCell {
+	if l == nil {
+		return [NumCauses]LedgerCell{}
+	}
+	return l.byCause
+}
+
+// ChargeResidency folds a tracer's power-state residency into the ledger as
+// background energy on (SystemVM, rank, baseline): weight(state) × span
+// duration in nanoseconds per closed span (nil weights selects
+// DefaultStateWeights, unknown states weigh 1.0). Call it after
+// Tracer.Finish so spans cover the full run; with it, the ledger accounts
+// the entire background energy proxy, not just the technique costs.
+func (l *Ledger) ChargeResidency(t *Tracer, weights map[string]float64) {
+	if l == nil || t == nil {
+		return
+	}
+	if weights == nil {
+		weights = DefaultStateWeights()
+	}
+	for _, s := range t.spans {
+		w, ok := weights[t.StateName(s.State)]
+		if !ok {
+			w = 1.0
+		}
+		l.Charge(SystemVM, s.Rank, CauseBaseline, 0, w*float64(s.Duration()))
+	}
+}
+
+// LedgerEntry is one nonzero ledger cell in exported form.
+type LedgerEntry struct {
+	VM     int64   `json:"vm"`
+	Rank   int     `json:"rank"`
+	Cause  string  `json:"cause"`
+	LatNs  int64   `json:"lat_ns"`
+	Energy float64 `json:"energy"`
+}
+
+// CauseTotal is one cause's aggregate cost across all VMs and ranks.
+type CauseTotal struct {
+	Cause  string  `json:"cause"`
+	LatNs  int64   `json:"lat_ns"`
+	Energy float64 `json:"energy"`
+}
+
+// LedgerSnapshot is the exported (and JSON-serialized) form of a ledger:
+// grand totals, per-cause totals, and every nonzero (vm, rank, cause) cell,
+// deterministically sorted by (vm, rank, cause code) so identical runs
+// produce byte-identical artifacts.
+type LedgerSnapshot struct {
+	TotalLatNs  int64        `json:"total_lat_ns"`
+	TotalEnergy float64      `json:"total_energy"`
+	Causes      []CauseTotal `json:"causes"`
+	Entries     []LedgerEntry `json:"entries"`
+}
+
+// Snapshot exports the ledger's current state.
+func (l *Ledger) Snapshot() *LedgerSnapshot {
+	snap := &LedgerSnapshot{}
+	if l == nil {
+		return snap
+	}
+	snap.TotalLatNs = l.total.LatNs
+	snap.TotalEnergy = l.total.Energy
+	for c := 0; c < NumCauses; c++ {
+		if l.byCause[c].zero() {
+			continue
+		}
+		snap.Causes = append(snap.Causes, CauseTotal{
+			Cause: Cause(c).String(), LatNs: l.byCause[c].LatNs, Energy: l.byCause[c].Energy,
+		})
+	}
+	vms := make([]int64, 0, len(l.cells))
+	for vm := range l.cells {
+		vms = append(vms, vm)
+	}
+	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
+	for _, vm := range vms {
+		cells := l.cells[vm]
+		for rank := -1; rank < l.cfg.Ranks; rank++ {
+			for c := 0; c < NumCauses; c++ {
+				cell := cells[(rank+1)*NumCauses+c]
+				if cell.zero() {
+					continue
+				}
+				snap.Entries = append(snap.Entries, LedgerEntry{
+					VM: vm, Rank: rank, Cause: Cause(c).String(),
+					LatNs: cell.LatNs, Energy: cell.Energy,
+				})
+			}
+		}
+	}
+	return snap
+}
+
+// WriteJSON serializes the ledger snapshot as indented JSON. The output is
+// deterministic: identical charge histories produce byte-identical files.
+func (l *Ledger) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(l.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// EmitTo dumps every nonzero ledger cell into the tracer as one "ledger"
+// record at time at, so exported traces carry the attribution totals and
+// SummarizeTrace can rebuild the breakdown from a trace alone.
+func (l *Ledger) EmitTo(t *Tracer, at sim.Time) {
+	if l == nil || t == nil {
+		return
+	}
+	for _, e := range l.Snapshot().Entries {
+		t.LedgerCell(e.VM, e.Rank, e.Cause, e.LatNs, e.Energy, at)
+	}
+}
+
+// ParseLedgerSnapshot reads a ledger artifact written by WriteJSON.
+func ParseLedgerSnapshot(r io.Reader) (*LedgerSnapshot, error) {
+	dec := json.NewDecoder(r)
+	var snap LedgerSnapshot
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing ledger: %w", err)
+	}
+	return &snap, nil
+}
+
+// sortEntries orders entries by (vm, rank, cause code) — the canonical
+// ledger order shared by Snapshot and the trace summarizers.
+func sortEntries(entries []LedgerEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.VM != b.VM {
+			return a.VM < b.VM
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if ra, rb := causeRank(a.Cause), causeRank(b.Cause); ra != rb {
+			return ra < rb
+		}
+		return a.Cause < b.Cause
+	})
+}
+
+// causeRank orders cause names canonically (declaration order), with
+// unknown names after the known set (lexically, via sortEntries' tiebreak).
+func causeRank(name string) int {
+	if c, ok := ParseCause(name); ok {
+		return int(c)
+	}
+	return NumCauses
+}

@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dtl/internal/sim"
+)
+
+func TestCauseStringRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Cause(0); int(c) < NumCauses; c++ {
+		name := c.String()
+		if strings.Contains(name, "Cause(") {
+			t.Fatalf("cause %d has no name", c)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate cause name %q", name)
+		}
+		seen[name] = true
+		back, ok := ParseCause(name)
+		if !ok || back != c {
+			t.Fatalf("ParseCause(%q) = %v, %v; want %v", name, back, ok, c)
+		}
+	}
+	if _, ok := ParseCause("no-such-cause"); ok {
+		t.Fatal("ParseCause accepted an unknown name")
+	}
+}
+
+func TestLedgerChargeAccumulates(t *testing.T) {
+	l := NewLedger(LedgerConfig{Ranks: 4})
+	l.Charge(7, 2, CauseBaseline, 100, 1.5)
+	l.Charge(7, 2, CauseBaseline, 50, 0.5)
+	l.Charge(7, -1, CauseSMCMissWalk, 30, 0)
+	l.Charge(SystemVM, 0, CauseFaultRetry, 0, 2.0)
+
+	if tot := l.Total(); tot.LatNs != 180 || tot.Energy != 4.0 {
+		t.Fatalf("total = %+v", tot)
+	}
+	byCause := l.CauseTotals()
+	if byCause[CauseBaseline].LatNs != 150 || byCause[CauseBaseline].Energy != 2.0 {
+		t.Fatalf("baseline total = %+v", byCause[CauseBaseline])
+	}
+	if byCause[CauseSMCMissWalk].LatNs != 30 {
+		t.Fatalf("walk total = %+v", byCause[CauseSMCMissWalk])
+	}
+
+	snap := l.Snapshot()
+	if snap.TotalLatNs != 180 || snap.TotalEnergy != 4.0 {
+		t.Fatalf("snapshot totals = %+v", snap)
+	}
+	// Canonical order: (vm, rank, cause code); SystemVM (-1) sorts first.
+	wantOrder := []LedgerEntry{
+		{VM: SystemVM, Rank: 0, Cause: "fault-retry", LatNs: 0, Energy: 2.0},
+		{VM: 7, Rank: -1, Cause: "smc-miss-walk", LatNs: 30, Energy: 0},
+		{VM: 7, Rank: 2, Cause: "baseline", LatNs: 150, Energy: 2.0},
+	}
+	if len(snap.Entries) != len(wantOrder) {
+		t.Fatalf("entries = %+v", snap.Entries)
+	}
+	for i, want := range wantOrder {
+		if snap.Entries[i] != want {
+			t.Fatalf("entry %d = %+v, want %+v", i, snap.Entries[i], want)
+		}
+	}
+}
+
+func TestLedgerNilIsSafe(t *testing.T) {
+	var l *Ledger
+	l.Charge(1, 0, CauseBaseline, 10, 1)
+	l.End(l.Begin(1, 0, CauseBaseline, 5), 10, 0)
+	l.ChargeResidency(nil, nil)
+	l.EmitTo(nil, 0)
+	if got := l.Total(); got != (LedgerCell{}) {
+		t.Fatalf("nil ledger total = %+v", got)
+	}
+	if s := l.Snapshot(); s.TotalLatNs != 0 || len(s.Entries) != 0 {
+		t.Fatalf("nil ledger snapshot = %+v", s)
+	}
+	if l.Spans() != nil || l.SpansTotal() != 0 || l.SpansDropped() != 0 {
+		t.Fatal("nil ledger reported spans")
+	}
+}
+
+func TestLedgerSpansRingOverwritesOldest(t *testing.T) {
+	l := NewLedger(LedgerConfig{Ranks: 1, SpanCapacity: 3})
+	for i := 0; i < 5; i++ {
+		start := sim.Time(i * 10)
+		l.End(l.Begin(int64(i), 0, CauseMigrationCopy, start), start+5, 1)
+	}
+	spans := l.Spans()
+	if len(spans) != 3 || l.SpansTotal() != 5 || l.SpansDropped() != 2 {
+		t.Fatalf("spans=%d total=%d dropped=%d", len(spans), l.SpansTotal(), l.SpansDropped())
+	}
+	// Oldest two (VM 0, 1) were overwritten; recording order preserved.
+	for i, sp := range spans {
+		if sp.VM != int64(i+2) {
+			t.Fatalf("span %d VM = %d", i, sp.VM)
+		}
+		if sp.Duration() != 5 {
+			t.Fatalf("span %d duration = %d", i, sp.Duration())
+		}
+	}
+	// The ring drops span records, never charges: the ledger still holds all 5.
+	if tot := l.Total(); tot.LatNs != 25 || tot.Energy != 5 {
+		t.Fatalf("total = %+v", tot)
+	}
+}
+
+func TestLedgerWriteJSONDeterministicAndParses(t *testing.T) {
+	build := func() *Ledger {
+		l := NewLedger(LedgerConfig{Ranks: 3})
+		// Charge in scrambled vm order; snapshot must still sort canonically.
+		l.Charge(9, 1, CauseSelfRefreshWake, 40, 0)
+		l.Charge(SystemVM, 2, CauseBaseline, 0, 123.456)
+		l.Charge(3, 0, CauseDegradedRead, 25, 0)
+		return l
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical charge histories produced different artifacts")
+	}
+	snap, err := ParseLedgerSnapshot(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.TotalLatNs != 65 || snap.TotalEnergy != 123.456 {
+		t.Fatalf("parsed totals = %+v", snap)
+	}
+	if len(snap.Entries) != 3 || snap.Entries[0].VM != SystemVM {
+		t.Fatalf("parsed entries = %+v", snap.Entries)
+	}
+}
+
+// TestLedgerRoundTripThroughTraceSinks dumps a ledger into a tracer and
+// checks that every export format rebuilds identical attribution entries —
+// the cross-format agreement `dtlstat top` and `dtlstat diff` rely on.
+func TestLedgerRoundTripThroughTraceSinks(t *testing.T) {
+	tr := testTracer(4, 0)
+	tr.PowerTransition(0, 1, 100)
+	l := NewLedger(LedgerConfig{Ranks: 4})
+	l.Charge(5, 2, CauseBaseline, 1234, 0.125)
+	l.Charge(5, 2, CauseSelfRefreshWake, 17, 0)
+	l.Charge(SystemVM, -1, CauseFaultRetry, 500, 0)
+	l.End(l.Begin(5, 1, CauseMigrationCopy, 100), 400, 2.5)
+	tr.AttrSpan(5, 1, CauseMigrationCopy.String(), 100, 400, 2.5)
+	tr.Finish(1000)
+	l.EmitTo(tr, 1000)
+
+	want := l.Snapshot().Entries
+	check := func(name string, s *TraceSummary, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(s.Attribution) != len(want) {
+			t.Fatalf("%s: attribution = %+v, want %+v", name, s.Attribution, want)
+		}
+		for i := range want {
+			if s.Attribution[i] != want[i] {
+				t.Fatalf("%s: entry %d = %+v, want %+v", name, i, s.Attribution[i], want[i])
+			}
+		}
+		// Live attr spans count as points, never as ledger entries.
+		if s.Points["attr"] != 1 {
+			t.Fatalf("%s: attr points = %d", name, s.Points["attr"])
+		}
+	}
+
+	var chrome bytes.Buffer
+	if err := WriteChromeTrace(&chrome, tr); err != nil {
+		t.Fatal(err)
+	}
+	s, err := SummarizeChromeTrace(bytes.NewReader(chrome.Bytes()))
+	check("chrome", s, err)
+
+	var jsonl bytes.Buffer
+	if err := WriteJSONL(&jsonl, tr); err != nil {
+		t.Fatal(err)
+	}
+	s, err = SummarizeJSONL(bytes.NewReader(jsonl.Bytes()))
+	check("jsonl", s, err)
+
+	var csv bytes.Buffer
+	if err := WriteEventsCSV(&csv, tr); err != nil {
+		t.Fatal(err)
+	}
+	s, err = SummarizeEventsCSV(bytes.NewReader(csv.Bytes()))
+	check("csv", s, err)
+}
+
+func TestSummarizeEmptyTrace(t *testing.T) {
+	_, err := SummarizeTrace(strings.NewReader(""))
+	if !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("err = %v, want ErrEmptyTrace", err)
+	}
+}
+
+func TestSummarizeTruncatedTraces(t *testing.T) {
+	tr := traceFixture(t)
+	cut := func(b []byte, n int) []byte { return b[:len(b)-n] }
+
+	var jsonl bytes.Buffer
+	if err := WriteJSONL(&jsonl, tr); err != nil {
+		t.Fatal(err)
+	}
+	_, err := SummarizeJSONL(bytes.NewReader(cut(jsonl.Bytes(), 9)))
+	if !errors.Is(err, ErrTruncatedTrace) {
+		t.Fatalf("jsonl err = %v, want ErrTruncatedTrace", err)
+	}
+	if !strings.Contains(err.Error(), "line") || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("jsonl truncation error lacks position: %v", err)
+	}
+
+	var csv bytes.Buffer
+	if err := WriteEventsCSV(&csv, tr); err != nil {
+		t.Fatal(err)
+	}
+	_, err = SummarizeEventsCSV(bytes.NewReader(cut(csv.Bytes(), 12)))
+	if !errors.Is(err, ErrTruncatedTrace) {
+		t.Fatalf("csv err = %v, want ErrTruncatedTrace", err)
+	}
+
+	var chrome bytes.Buffer
+	if err := WriteChromeTrace(&chrome, tr); err != nil {
+		t.Fatal(err)
+	}
+	_, err = SummarizeChromeTrace(bytes.NewReader(cut(chrome.Bytes(), 40)))
+	if !errors.Is(err, ErrTruncatedTrace) {
+		t.Fatalf("chrome err = %v, want ErrTruncatedTrace", err)
+	}
+
+	// An intact trace of any format still summarizes cleanly via sniffing.
+	if _, err := SummarizeTrace(bytes.NewReader(jsonl.Bytes())); err != nil {
+		t.Fatalf("intact jsonl: %v", err)
+	}
+}
+
+func TestChargeResidencyFoldsPowerSpans(t *testing.T) {
+	tr := testTracer(2, 0)
+	tr.PowerTransition(0, 1, 100) // rank 0: standby 0..100, self-refresh 100..1000
+	tr.Finish(1000)
+
+	l := NewLedger(LedgerConfig{Ranks: 2})
+	l.ChargeResidency(tr, nil)
+	w := DefaultStateWeights()
+	want := 2*w["standby"]*1000 - w["standby"]*900 + w["self-refresh"]*900
+	if got := l.Total().Energy; got != want {
+		t.Fatalf("residency energy = %g, want %g", got, want)
+	}
+	if l.Total().LatNs != 0 {
+		t.Fatal("residency charged latency")
+	}
+	// All of it lands on (SystemVM, rank, baseline).
+	for _, e := range l.Snapshot().Entries {
+		if e.VM != SystemVM || e.Cause != "baseline" {
+			t.Fatalf("residency entry = %+v", e)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -23,6 +24,18 @@ const (
 	migrationTidBase = 10000
 	// pointTid is the thread carrying instant events (SMC misses, scrubs...).
 	pointTid = 20000
+	// attrTid is the thread carrying attribution spans and ledger cells.
+	attrTid = 30000
+)
+
+// Trace reading errors callers can test with errors.Is: dtlstat turns them
+// into targeted diagnostics instead of a generic parse failure.
+var (
+	// ErrEmptyTrace marks a trace file with no content at all.
+	ErrEmptyTrace = errors.New("empty trace (no records)")
+	// ErrTruncatedTrace marks a trace file that ends mid-record — the
+	// producer crashed or is still writing.
+	ErrTruncatedTrace = errors.New("trace truncated mid-record")
 )
 
 // TraceFormat selects the on-disk encoding of an exported trace.
@@ -120,8 +133,30 @@ func WriteChromeTrace(w io.Writer, t *Tracer) error {
 		})
 	}
 	migThreads := map[int]bool{}
+	attrThread := false
 	for _, ev := range t.Events() {
 		switch ev.Kind {
+		case EvAttr, EvLedger:
+			if !attrThread {
+				attrThread = true
+				evs = append(evs, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: chromePID, Tid: attrTid,
+					Args: map[string]any{"name": "attribution"},
+				})
+			}
+			if ev.Kind == EvAttr {
+				evs = append(evs, chromeEvent{
+					Name: ev.Reason, Cat: "attr", Ph: "X",
+					Ts: usOf(ev.At), Dur: usOf(ev.Dur),
+					Pid: chromePID, Tid: attrTid, Args: attrArgs(ev),
+				})
+			} else {
+				evs = append(evs, chromeEvent{
+					Name: ev.Reason, Cat: "ledger", Ph: "i",
+					Ts: usOf(ev.At), Pid: chromePID, Tid: attrTid, Scope: "t",
+					Args: attrArgs(ev),
+				})
+			}
 		case EvMigration:
 			if !migThreads[ev.Channel] {
 				migThreads[ev.Channel] = true
@@ -147,6 +182,21 @@ func WriteChromeTrace(w io.Writer, t *Tracer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ns"})
+}
+
+// attrArgs carries an attribution record's full cell through the
+// trace_event args so SummarizeChromeTrace can rebuild the ledger exactly.
+func attrArgs(ev Event) map[string]any {
+	args := map[string]any{
+		"vm":     ev.Src,
+		"cause":  ev.Reason,
+		"lat_ns": int64(ev.Dur),
+		"energy": ev.Energy,
+	}
+	if ev.Rank >= 0 {
+		args["rank"] = ev.Rank
+	}
+	return args
 }
 
 func pointArgs(ev Event) map[string]any {
@@ -191,8 +241,11 @@ func pointArgs(ev Event) map[string]any {
 //	ecc_storm  type, at_ns, rank, count (bucket level)
 //	retire     type, at_ns, rank, reason (cause)
 //	retire_deferred  type, at_ns, dur_ns (backoff), rank, reason
+//	attr       type, at_ns, dur_ns, rank, vm (src), energy, reason (cause)
+//	ledger     type, at_ns, dur_ns (lat_ns), rank, vm (src), energy, reason (cause)
 //
-// Absent fields are omitted in JSONL and empty in CSV.
+// Absent fields are omitted in JSONL and empty in CSV. In CSV the attr and
+// ledger records carry the energy charge in the dst column as a float.
 
 func appendJSONField(buf []byte, name string, v int64) []byte {
 	buf = append(buf, ',', '"')
@@ -206,6 +259,13 @@ func appendJSONStringField(buf []byte, name, v string) []byte {
 	buf = append(buf, name...)
 	buf = append(buf, '"', ':')
 	return strconv.AppendQuote(buf, v)
+}
+
+func appendJSONFloatField(buf []byte, name string, v float64) []byte {
+	buf = append(buf, ',', '"')
+	buf = append(buf, name...)
+	buf = append(buf, '"', ':')
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
 }
 
 // appendPowerJSONL renders one power span as a JSONL record.
@@ -241,6 +301,9 @@ func appendEventJSONL(buf []byte, ev Event) []byte {
 		buf = appendJSONField(buf, "segments", ev.Src)
 	case EvFault, EvStorm:
 		buf = appendJSONField(buf, "count", ev.Src)
+	case EvAttr, EvLedger:
+		buf = appendJSONField(buf, "vm", ev.Src)
+		buf = appendJSONFloatField(buf, "energy", ev.Energy)
 	}
 	if ev.Reason != "" {
 		buf = appendJSONStringField(buf, "reason", ev.Reason)
@@ -285,7 +348,13 @@ func appendEventCSV(buf []byte, ev Event) []byte {
 	buf = append(buf, ',')
 	buf = strconv.AppendInt(buf, ev.Src, 10)
 	buf = append(buf, ',')
-	buf = strconv.AppendInt(buf, ev.Dst, 10)
+	if ev.Kind == EvAttr || ev.Kind == EvLedger {
+		// Attribution records repurpose the dst column for the energy
+		// charge; 'g'/-1 formatting round-trips the float64 exactly.
+		buf = strconv.AppendFloat(buf, ev.Energy, 'g', -1, 64)
+	} else {
+		buf = strconv.AppendInt(buf, ev.Dst, 10)
+	}
 	return append(buf, '\n')
 }
 
@@ -363,6 +432,11 @@ type TraceSummary struct {
 	MigrationReasons map[string]int
 	// Points counts instant events by name.
 	Points map[string]int
+	// Attribution holds the cost-ledger cells dumped into the trace at
+	// finish (record kind "ledger"), sorted by (vm, rank, cause). Live
+	// attr spans are counted in Points only, so the ledger dump is the
+	// single source of attribution totals and nothing double-counts.
+	Attribution []LedgerEntry
 }
 
 func newTraceSummary() *TraceSummary {
@@ -433,7 +507,12 @@ func (s *TraceSummary) RankLabel(rank int) string {
 // samples.
 func SummarizeChromeTrace(r io.Reader) (*TraceSummary, error) {
 	var tr chromeTrace
-	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		if err == io.ErrUnexpectedEOF || err == io.EOF ||
+			strings.Contains(err.Error(), "unexpected end of JSON input") {
+			return nil, fmt.Errorf("telemetry: chrome trace byte offset %d: %w", dec.InputOffset(), ErrTruncatedTrace)
+		}
 		return nil, fmt.Errorf("telemetry: parsing trace: %w", err)
 	}
 	s := newTraceSummary()
@@ -450,10 +529,28 @@ func SummarizeChromeTrace(r io.Reader) (*TraceSummary, error) {
 			if reason, ok := ev.Args["reason"].(string); ok {
 				s.MigrationReasons[reason]++
 			}
+		case ev.Ph == "X" && ev.Cat == "attr":
+			s.Points["attr"]++
+		case ev.Ph == "i" && ev.Cat == "ledger":
+			entry := LedgerEntry{Rank: -1, Cause: ev.Name}
+			if v, ok := ev.Args["vm"].(float64); ok {
+				entry.VM = int64(v)
+			}
+			if v, ok := ev.Args["rank"].(float64); ok {
+				entry.Rank = int(v)
+			}
+			if v, ok := ev.Args["lat_ns"].(float64); ok {
+				entry.LatNs = int64(v)
+			}
+			if v, ok := ev.Args["energy"].(float64); ok {
+				entry.Energy = v
+			}
+			s.Attribution = append(s.Attribution, entry)
 		case ev.Ph == "i":
 			s.Points[ev.Name]++
 		}
 	}
+	sortEntries(s.Attribution)
 	return s, nil
 }
 
@@ -466,10 +563,12 @@ type jsonlRecord struct {
 	State    string `json:"state"`
 	StartNs  int64  `json:"start_ns"`
 	EndNs    int64  `json:"end_ns"`
-	AtNs     int64  `json:"at_ns"`
-	DurNs    int64  `json:"dur_ns"`
-	Channel  *int   `json:"channel"`
-	Reason   string `json:"reason"`
+	AtNs     int64   `json:"at_ns"`
+	DurNs    int64   `json:"dur_ns"`
+	Channel  *int    `json:"channel"`
+	Reason   string  `json:"reason"`
+	Vm       *int64  `json:"vm"`
+	Energy   float64 `json:"energy"`
 }
 
 // SummarizeJSONL parses a JSONL trace (WriteJSONL or a TraceStream) into the
@@ -480,14 +579,22 @@ func SummarizeJSONL(r io.Reader) (*TraceSummary, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
+	offset := int64(0)
 	for sc.Scan() {
 		line++
+		lineStart := offset
+		offset += int64(len(sc.Bytes())) + 1
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
 			continue
 		}
 		var rec jsonlRecord
 		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A malformed final line is a trace cut off mid-record (a
+			// killed run or partial copy), not a format error.
+			if !sc.Scan() && sc.Err() == nil {
+				return nil, fmt.Errorf("telemetry: jsonl line %d (byte offset %d): %w", line, lineStart, ErrTruncatedTrace)
+			}
 			return nil, fmt.Errorf("telemetry: jsonl line %d: %w", line, err)
 		}
 		switch rec.Type {
@@ -506,6 +613,15 @@ func SummarizeJSONL(r io.Reader) (*TraceSummary, error) {
 			if rec.Reason != "" {
 				s.MigrationReasons[rec.Reason]++
 			}
+		case "ledger":
+			entry := LedgerEntry{Rank: -1, Cause: rec.Reason, LatNs: rec.DurNs, Energy: rec.Energy}
+			if rec.Vm != nil {
+				entry.VM = *rec.Vm
+			}
+			if rec.Rank != nil {
+				entry.Rank = *rec.Rank
+			}
+			s.Attribution = append(s.Attribution, entry)
 		default:
 			s.Points[rec.Type]++
 		}
@@ -513,6 +629,7 @@ func SummarizeJSONL(r io.Reader) (*TraceSummary, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("telemetry: reading jsonl: %w", err)
 	}
+	sortEntries(s.Attribution)
 	return s, nil
 }
 
@@ -538,6 +655,11 @@ func SummarizeEventsCSV(r io.Reader) (*TraceSummary, error) {
 		}
 		f := strings.Split(text, ",")
 		if len(f) != 8 {
+			// A short final row is a trace cut off mid-record, not a
+			// malformed file.
+			if !sc.Scan() && sc.Err() == nil {
+				return nil, fmt.Errorf("telemetry: csv line %d (%d of 8 fields): %w", line, len(f), ErrTruncatedTrace)
+			}
 			return nil, fmt.Errorf("telemetry: csv line %d: %d fields, want 8", line, len(f))
 		}
 		if _, err := strconv.ParseInt(f[1], 10, 64); err != nil {
@@ -559,6 +681,26 @@ func SummarizeEventsCSV(r io.Reader) (*TraceSummary, error) {
 			if f[5] != "" {
 				s.MigrationReasons[f[5]]++
 			}
+		case "ledger":
+			entry := LedgerEntry{Rank: -1, Cause: f[5], LatNs: dur}
+			if f[3] != "" {
+				rank, err := strconv.Atoi(f[3])
+				if err != nil {
+					return nil, fmt.Errorf("telemetry: csv line %d: bad rank %q", line, f[3])
+				}
+				entry.Rank = rank
+			}
+			vm, err := strconv.ParseInt(f[6], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: csv line %d: bad vm %q", line, f[6])
+			}
+			entry.VM = vm
+			energy, err := strconv.ParseFloat(f[7], 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: csv line %d: bad energy %q", line, f[7])
+			}
+			entry.Energy = energy
+			s.Attribution = append(s.Attribution, entry)
 		default:
 			s.Points[f[0]]++
 		}
@@ -566,6 +708,7 @@ func SummarizeEventsCSV(r io.Reader) (*TraceSummary, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("telemetry: reading csv: %w", err)
 	}
+	sortEntries(s.Attribution)
 	return s, nil
 }
 
@@ -592,7 +735,7 @@ func SummarizeTrace(r io.Reader) (*TraceSummary, error) {
 	case bytes.HasPrefix(trimmed, []byte("record,")):
 		return SummarizeEventsCSV(br)
 	case len(trimmed) == 0:
-		return nil, fmt.Errorf("telemetry: empty trace")
+		return nil, fmt.Errorf("telemetry: %w", ErrEmptyTrace)
 	default:
 		return nil, fmt.Errorf("telemetry: unrecognized trace format (starts %q)", string(trimmed[:min(16, len(trimmed))]))
 	}

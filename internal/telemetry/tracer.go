@@ -33,6 +33,13 @@ const (
 	// EvRetireDeferred is an auto-retirement postponed for lack of spare
 	// capacity; Dur is the backoff until the next attempt.
 	EvRetireDeferred
+	// EvAttr is one closed attribution span: Src is the charged VM, Reason
+	// the cause tag, Dur the latency and Energy the energy charge.
+	EvAttr
+	// EvLedger is one cost-ledger cell total, dumped when the trace
+	// finishes: Src is the VM, Reason the cause, Dur the accumulated
+	// latency and Energy the accumulated energy.
+	EvLedger
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +63,10 @@ func (k EventKind) String() string {
 		return "ecc_storm"
 	case EvRetireDeferred:
 		return "retire_deferred"
+	case EvAttr:
+		return "attr"
+	case EvLedger:
+		return "ledger"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -69,9 +80,10 @@ type Event struct {
 	Dur     sim.Time // span events (migration); 0 for instants
 	Rank    int      // global rank, -1 when not rank-scoped
 	Channel int      // -1 when not channel-scoped
-	Src     int64    // migration source DSN / scrubbed-segment count
+	Src     int64    // migration source DSN / scrubbed-segment count / charged VM
 	Dst     int64    // migration destination DSN
-	Reason  string   // migration reason ("drain", "hotness-swap", ...)
+	Reason  string   // migration reason ("drain", "hotness-swap", ...) / cause tag
+	Energy  float64  // attribution energy charge (attr/ledger records only)
 }
 
 // PowerSpan is one closed interval a rank spent in a single power state.
@@ -294,6 +306,28 @@ func (t *Tracer) RetireDeferred(rank int, cause string, backoff, at sim.Time) {
 		return
 	}
 	t.emit(Event{Kind: EvRetireDeferred, At: at, Dur: backoff, Rank: rank, Channel: -1, Reason: cause})
+}
+
+// AttrSpan records one closed attribution span: the cost ledger charged
+// (end - start) nanoseconds of latency and energy units to (vm, rank,
+// cause). rank is -1 when the charge is not rank-scoped.
+func (t *Tracer) AttrSpan(vm int64, rank int, cause string, start, end sim.Time, energy float64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: EvAttr, At: start, Dur: end - start, Rank: rank, Channel: -1,
+		Src: vm, Reason: cause, Energy: energy})
+}
+
+// LedgerCell records one cost-ledger cell total (usually at trace finish,
+// via Ledger.EmitTo): latNs nanoseconds and energy units accumulated on
+// (vm, rank, cause) over the run.
+func (t *Tracer) LedgerCell(vm int64, rank int, cause string, latNs int64, energy float64, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: EvLedger, At: at, Dur: sim.Time(latNs), Rank: rank, Channel: -1,
+		Src: vm, Reason: cause, Energy: energy})
 }
 
 // Finish closes every open power span at horizon. Call it once, after the
