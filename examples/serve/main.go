@@ -49,7 +49,9 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	c := client.New(base)
+	// The hardened client: jittered backoff on 5xx/transport errors,
+	// Retry-After honored on 429/503, circuit breaker on a dead daemon.
+	c := client.New(base).WithRetry(client.RetryPolicy{})
 
 	// Submit the A/B pair: same experiment, same seed, one policy knob apart.
 	baseline, err := c.Submit(ctx, serve.JobSpec{Experiment: "fig12", Quick: true})

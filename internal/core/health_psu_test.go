@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"dtl/internal/dram"
+	"dtl/internal/fault"
+	"dtl/internal/sim"
+)
+
+// A correlated whole-channel failure (the fault grammar's "psu" kind) must
+// drive the health monitor to retire every victim it structurally can: all
+// ranks of the channel except the last survivor, which ErrLastRank pins in
+// degraded service because its data would have nowhere to go.
+func TestPSUChannelFailureRetiresAllVictims(t *testing.T) {
+	d := newTestDTL(t)
+	g := d.cfg.Geometry
+
+	eng := sim.NewEngine()
+	inj, err := fault.NewInjector(fault.MustParse("seed=7;psu:ch=1@10ms"), d.Device(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Start(sim.Second)
+	eng.Run()
+
+	// The fault hook only classifies and enqueues; nothing retires until the
+	// next tick.
+	if got := healthCounter(t, d, "fault_events"); got != float64(g.RanksPerChannel) {
+		t.Fatalf("fault_events = %v, want %d (one rank-failure per victim)", got, g.RanksPerChannel)
+	}
+	if pend := d.Health().PendingRetires(); pend != g.RanksPerChannel {
+		t.Fatalf("pending = %d, want %d", pend, g.RanksPerChannel)
+	}
+	if len(d.RetiredRanks()) != 0 {
+		t.Fatal("hook retired ranks synchronously")
+	}
+
+	d.Tick(20 * sim.Millisecond)
+
+	retired := d.RetiredRanks()
+	if len(retired) != g.RanksPerChannel-1 {
+		t.Fatalf("retired = %v, want %d victims on channel 1", retired, g.RanksPerChannel-1)
+	}
+	for _, id := range retired {
+		if id.Channel != 1 {
+			t.Fatalf("retired %v is not on the failed channel", id)
+		}
+	}
+	if got := healthCounter(t, d, "auto_retires"); got != float64(g.RanksPerChannel-1) {
+		t.Fatalf("auto_retires = %v, want %d", got, g.RanksPerChannel-1)
+	}
+	// The last rank of the channel is abandoned, not retired: ErrLastRank.
+	if got := healthCounter(t, d, "retires_abandoned"); got != 1 {
+		t.Fatalf("retires_abandoned = %v, want 1", got)
+	}
+	if d.Health().PendingRetires() != 0 {
+		t.Fatalf("pending = %d after processing, want 0", d.Health().PendingRetires())
+	}
+	// Capacity bookkeeping reflects the loss.
+	if want := g.TotalBytes() - int64(g.RanksPerChannel-1)*g.RankBytes; d.UsableBytes() != want {
+		t.Fatalf("UsableBytes = %d, want %d", d.UsableBytes(), want)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The same event with live data elsewhere: VMs on healthy channels are
+// untouched by a correlated failure on another channel.
+func TestPSUChannelFailureSparesOtherChannels(t *testing.T) {
+	d := newTestDTL(t)
+	mustAlloc(t, d, 1, 0, 32*dram.MiB, 0)
+
+	eng := sim.NewEngine()
+	inj, err := fault.NewInjector(fault.MustParse("psu:ch3:at=10ms"), d.Device(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Start(sim.Second)
+	eng.Run()
+	d.Tick(20 * sim.Millisecond)
+
+	for _, id := range d.RetiredRanks() {
+		if id.Channel != 3 {
+			t.Fatalf("retired %v off the failed channel", id)
+		}
+	}
+	g := d.cfg.Geometry
+	for ch := 0; ch < g.Channels-1; ch++ {
+		for rk := 0; rk < g.RanksPerChannel; rk++ {
+			if d.Device().Failed(dram.RankID{Channel: ch, Rank: rk}) {
+				t.Fatalf("psu:ch3 failed ch%d/rk%d outside channel 3", ch, rk)
+			}
+		}
+	}
+	// The VM's memory still serves accesses.
+	addrs, _ := d.VMAddresses(1)
+	for i, base := range addrs {
+		if _, err := d.Access(base, false, 30*sim.Millisecond+sim.Time(i)*sim.Microsecond); err != nil {
+			t.Fatalf("access after psu on another channel: %v", err)
+		}
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

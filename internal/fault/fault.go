@@ -11,8 +11,9 @@
 //	spec    := clause (";" clause)*
 //	clause  := "seed=" int
 //	         | kind ":" rank [":" params]
-//	kind    := "ce" | "storm" | "ue" | "wake" | "stuck" | "kill"
+//	kind    := "ce" | "storm" | "ue" | "wake" | "stuck" | "kill" | "psu"
 //	rank    := "ch" int "/rk" int
+//	         | "ch" ["="] int ["@" duration]   // psu only: a whole channel
 //	params  := param ("," param)*
 //	param   := "rate=" float          // events per second (ce, storm)
 //	         | "at=" duration         // activation time (default 0)
@@ -27,6 +28,11 @@
 // self-refresh). Example:
 //
 //	seed=7;storm:ch1/rk2:at=90m,rate=2000,dur=60s;kill:ch3/rk5:at=3h
+//
+// "psu" is the correlated failure: one power-delivery fault takes out every
+// rank on a channel at once, the scenario that stresses the health monitor's
+// retirement capacity instead of one rank at a time. It targets a channel,
+// not a rank — "psu:ch1:at=90m", or the shorthand "psu:ch=1@90m".
 package fault
 
 import (
@@ -57,7 +63,14 @@ const (
 	Wake
 	// Kill is a one-shot whole-rank failure.
 	Kill
+	// PSU is a one-shot correlated failure of every rank on a channel, as if
+	// the channel's power supply died.
+	PSU
 )
+
+// WholeChannel is the Clause.Rank.Rank sentinel for channel-scoped clauses
+// (PSU): the clause targets every rank of Rank.Channel.
+const WholeChannel = -1
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -72,6 +85,8 @@ func (k Kind) String() string {
 		return "wake"
 	case Kill:
 		return "kill"
+	case PSU:
+		return "psu"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -161,12 +176,34 @@ func parseClause(s string) (Clause, error) {
 		c.Kind, c.Extra = Wake, StuckWakeExtra
 	case "kill":
 		c.Kind = Kill
+	case "psu":
+		c.Kind = PSU
 	default:
 		return Clause{}, fmt.Errorf("fault: unknown kind %q in clause %q", fields[0], s)
 	}
 
 	rank := strings.TrimSpace(fields[1])
-	if _, err := fmt.Sscanf(rank, "ch%d/rk%d", &c.Rank.Channel, &c.Rank.Rank); err != nil {
+	if c.Kind == PSU {
+		// Channel-scoped target: "chN" or "ch=N", with an optional "@t"
+		// activation shorthand ("psu:ch=1@90m" == "psu:ch1:at=90m").
+		if ch, at, ok := strings.Cut(rank, "@"); ok {
+			t, err := parseDuration(strings.TrimSpace(at))
+			if err != nil {
+				return Clause{}, fmt.Errorf("fault: bad activation %q in clause %q: %v", at, s, err)
+			}
+			rank, c.At = strings.TrimSpace(ch), t
+		}
+		chs, ok := strings.CutPrefix(rank, "ch")
+		if !ok {
+			return Clause{}, fmt.Errorf("fault: bad channel %q in clause %q (want chN)", rank, s)
+		}
+		chs = strings.TrimPrefix(chs, "=")
+		n, err := strconv.Atoi(strings.TrimSpace(chs))
+		if err != nil {
+			return Clause{}, fmt.Errorf("fault: bad channel %q in clause %q (want chN)", rank, s)
+		}
+		c.Rank = dram.RankID{Channel: n, Rank: WholeChannel}
+	} else if _, err := fmt.Sscanf(rank, "ch%d/rk%d", &c.Rank.Channel, &c.Rank.Rank); err != nil {
 		return Clause{}, fmt.Errorf("fault: bad rank %q in clause %q (want chN/rkM)", rank, s)
 	}
 
@@ -227,7 +264,8 @@ type Stats struct {
 	CorrectableErrors   int64 // sum of per-event counts
 	UncorrectableEvents int64
 	WakeFaultsArmed     int64
-	RankKills           int64
+	RankKills           int64 // individual rank failures (kill and psu alike)
+	PSUEvents           int64 // correlated whole-channel failures delivered
 }
 
 // Injector drives a Spec against a device on a sim engine.
@@ -244,6 +282,12 @@ type Injector struct {
 func NewInjector(spec Spec, dev *dram.Device, eng *sim.Engine) (*Injector, error) {
 	g := dev.Geometry()
 	for _, c := range spec.Clauses {
+		if c.Kind == PSU {
+			if c.Rank.Channel < 0 || c.Rank.Channel >= g.Channels || c.Rank.Rank != WholeChannel {
+				return nil, fmt.Errorf("fault: clause %s targets channel %d outside %v", c.Kind, c.Rank.Channel, g)
+			}
+			continue
+		}
 		if c.Rank.Channel < 0 || c.Rank.Channel >= g.Channels ||
 			c.Rank.Rank < 0 || c.Rank.Rank >= g.RanksPerChannel {
 			return nil, fmt.Errorf("fault: clause %s targets rank %v outside %v", c.Kind, c.Rank, g)
@@ -290,6 +334,18 @@ func (in *Injector) Start(horizon sim.Time) {
 			in.eng.At(c.At, func(now sim.Time) {
 				in.dev.FailRank(c.Rank, now)
 				in.stats.RankKills++
+			})
+		case PSU:
+			c := c
+			in.eng.At(c.At, func(now sim.Time) {
+				// One instant, every rank of the channel: the failures land
+				// in ascending rank order so downstream event handling stays
+				// deterministic.
+				for r := 0; r < in.dev.Geometry().RanksPerChannel; r++ {
+					in.dev.FailRank(dram.RankID{Channel: c.Rank.Channel, Rank: r}, now)
+					in.stats.RankKills++
+				}
+				in.stats.PSUEvents++
 			})
 		}
 	}

@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"testing"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+func TestParsePSUForms(t *testing.T) {
+	// Canonical param form and the "@" shorthand compile identically.
+	for _, s := range []string{"psu:ch1:at=90m", "psu:ch=1@90m", "psu:ch1@90m"} {
+		spec, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if len(spec.Clauses) != 1 {
+			t.Fatalf("Parse(%q) clauses = %d", s, len(spec.Clauses))
+		}
+		c := spec.Clauses[0]
+		if c.Kind != PSU || c.Rank.Channel != 1 || c.Rank.Rank != WholeChannel || c.At != 90*sim.Minute {
+			t.Fatalf("Parse(%q) clause = %+v", s, c)
+		}
+	}
+	// Default activation is t=0.
+	c := MustParse("psu:ch2").Clauses[0]
+	if c.Kind != PSU || c.Rank.Channel != 2 || c.At != 0 {
+		t.Fatalf("psu:ch2 clause = %+v", c)
+	}
+}
+
+func TestParsePSUErrors(t *testing.T) {
+	bad := []string{
+		"psu:ch0/rk0", // psu targets a channel, not a rank
+		"psu:2",       // missing ch prefix
+		"psu:chx",     // not a number
+		"psu:ch1@sometime",
+		"psu",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestPSUValidatesChannel(t *testing.T) {
+	dev := dram.MustDevice(dram.Default1TB(), dram.DefaultPowerModel(), dram.DefaultTiming())
+	g := dev.Geometry()
+	for _, s := range []string{"psu:ch99", "psu:ch-1"} {
+		if _, err := NewInjector(MustParse(s), dev, sim.NewEngine()); err == nil {
+			t.Errorf("NewInjector accepted %q for %v", s, g)
+		}
+	}
+	if _, err := NewInjector(MustParse("psu:ch0"), dev, sim.NewEngine()); err != nil {
+		t.Fatalf("NewInjector rejected a valid psu clause: %v", err)
+	}
+}
+
+func TestPSUKillsEveryRankOnChannel(t *testing.T) {
+	dev := dram.MustDevice(dram.Default1TB(), dram.DefaultPowerModel(), dram.DefaultTiming())
+	g := dev.Geometry()
+	eng := sim.NewEngine()
+	inj, err := NewInjector(MustParse("psu:ch1:at=10ms"), dev, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Start(sim.Second)
+	eng.Run()
+
+	for ch := 0; ch < g.Channels; ch++ {
+		for rk := 0; rk < g.RanksPerChannel; rk++ {
+			failed := dev.Failed(dram.RankID{Channel: ch, Rank: rk})
+			if want := ch == 1; failed != want {
+				t.Errorf("ch%d/rk%d failed = %v, want %v", ch, rk, failed, want)
+			}
+		}
+	}
+	st := inj.Stats()
+	if st.PSUEvents != 1 || st.RankKills != int64(g.RanksPerChannel) {
+		t.Fatalf("stats = %+v, want 1 psu event, %d rank kills", st, g.RanksPerChannel)
+	}
+}

@@ -135,11 +135,18 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	depth := len(s.queue)
-	draining := s.draining
+	v := metricsView{
+		queueDepth: len(s.queue),
+		queueCap:   s.cfg.QueueDepth,
+		workers:    s.cfg.Workers,
+		draining:   s.draining,
+		crashed:    s.crashed,
+		recovery:   s.recovery,
+		chaos:      s.chaos,
+	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.writeMetrics(w, depth, s.cfg.QueueDepth, s.cfg.Workers, draining)
+	s.met.writeMetrics(w, v)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -155,13 +162,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrCrashed):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrJournal):
+		writeError(w, http.StatusInternalServerError, "%v", err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)
 	default:
 		w.Header().Set("Location", "/v1/jobs/"+st.ID)
-		writeJSON(w, http.StatusAccepted, st)
+		// A cache hit hands back an already-finished job: 200, not 202 — the
+		// caller can tell nothing new was enqueued.
+		code := http.StatusAccepted
+		if st.State.Terminal() {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, st)
 	}
 }
 

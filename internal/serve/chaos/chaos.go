@@ -1,0 +1,265 @@
+// Package chaos is the serving-layer fault harness: a seeded process that
+// injects worker panics, artifact-store write errors, slow and torn journal
+// writes, and pre-commit crash points into dtlserved, so recovery paths are
+// exercised by tests instead of asserted in comments.
+//
+// Spec grammar (semicolon-separated params, all probabilities in [0,1]):
+//
+//	spec   := param (";" param)*
+//	param  := "seed=" int          // rng seed (default 1)
+//	        | "panic=" prob        // worker panics before running a job
+//	        | "storewrite=" prob   // artifact-store writes fail
+//	        | "journaldelay=" dur  // every journal append sleeps this long
+//	        | "journaltear=" prob  // journal appends write a torn frame
+//	        | "crash=" prob        // simulated hard stop at every crash point
+//	        | "crash-start=" prob  // ...only at the post-start point
+//	        | "crash-artifact=" prob // ...only before artifact ingestion
+//	        | "crash-commit=" prob // ...only before the commit record
+//
+// Example: "seed=7;panic=0.2;storewrite=0.1;journaltear=0.05".
+//
+// Every hook is a method on a possibly-nil *Harness: a nil harness rolls
+// nothing, touches no rng, and allocates nothing, so the disabled case is
+// provably zero-overhead on the job hot path (see TestNilHarnessZeroAlloc).
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CrashPoint names a place in the job lifecycle where the harness may
+// simulate a hard stop (the daemon dying without writing another byte).
+type CrashPoint int
+
+const (
+	// CrashStart fires right after the job's started record is journaled,
+	// before any work runs: recovery must re-enqueue the job.
+	CrashStart CrashPoint = iota
+	// CrashArtifact fires after the experiment finished, before artifacts
+	// are ingested into the store: recovery must re-run the job and the
+	// store must hold no partial objects.
+	CrashArtifact
+	// CrashCommit fires after artifacts are ingested, before the finished
+	// record is journaled: recovery re-runs the job and the re-run's
+	// artifacts dedupe onto the already-committed objects byte-for-byte.
+	CrashCommit
+	numCrashPoints
+)
+
+// String implements fmt.Stringer.
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashStart:
+		return "start"
+	case CrashArtifact:
+		return "artifact"
+	case CrashCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("CrashPoint(%d)", int(p))
+	}
+}
+
+// ErrInjected marks every chaos-injected error, so tests (and operators
+// reading job errors) can tell injected failures from organic ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Config holds the parsed spec.
+type Config struct {
+	Seed         int64
+	PanicProb    float64
+	StoreWrite   float64
+	JournalDelay time.Duration
+	JournalTear  float64
+	Crash        [numCrashPoints]float64
+}
+
+// Stats counts delivered injections; read it with Harness.Stats.
+type Stats struct {
+	Panics      int64
+	StoreErrors int64
+	TornWrites  int64
+	Delays      int64
+	Crashes     int64
+}
+
+// Harness rolls the dice. All methods are safe for concurrent use and safe
+// on a nil receiver (where they do nothing and report no faults).
+type Harness struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	panics      atomic.Int64
+	storeErrors atomic.Int64
+	tornWrites  atomic.Int64
+	delays      atomic.Int64
+	crashes     atomic.Int64
+}
+
+// New builds a harness from a config.
+func New(cfg Config) *Harness {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Harness{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Parse compiles a chaos spec. An empty spec returns a nil harness — the
+// disabled, zero-overhead case.
+func Parse(s string) (*Harness, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	cfg := Config{Seed: 1}
+	for _, raw := range strings.Split(s, ";") {
+		kv := strings.TrimSpace(raw)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: bad param %q (want key=value)", kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "panic":
+			cfg.PanicProb, err = parseProb(val)
+		case "storewrite":
+			cfg.StoreWrite, err = parseProb(val)
+		case "journaldelay":
+			cfg.JournalDelay, err = time.ParseDuration(val)
+			if err == nil && cfg.JournalDelay < 0 {
+				err = fmt.Errorf("delay must be non-negative")
+			}
+		case "journaltear":
+			cfg.JournalTear, err = parseProb(val)
+		case "crash":
+			var p float64
+			p, err = parseProb(val)
+			for i := range cfg.Crash {
+				cfg.Crash[i] = p
+			}
+		case "crash-start":
+			cfg.Crash[CrashStart], err = parseProb(val)
+		case "crash-artifact":
+			cfg.Crash[CrashArtifact], err = parseProb(val)
+		case "crash-commit":
+			cfg.Crash[CrashCommit], err = parseProb(val)
+		default:
+			err = fmt.Errorf("unknown param")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("chaos: param %q: %v", kv, err)
+		}
+	}
+	return New(cfg), nil
+}
+
+// MustParse is Parse that panics on error, for tests.
+func MustParse(s string) *Harness {
+	h, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability must be in [0,1]")
+	}
+	return p, nil
+}
+
+// roll draws one uniform variate under the harness lock; p=0 short-circuits
+// without touching the rng so unrelated injections stay on their seeded
+// streams only when actually configured.
+func (h *Harness) roll(p float64) bool {
+	if h == nil || p <= 0 {
+		return false
+	}
+	h.mu.Lock()
+	hit := h.rng.Float64() < p
+	h.mu.Unlock()
+	return hit
+}
+
+// WorkerPanic reports whether this job should be killed by an injected
+// panic. The caller panics with ErrInjected context so the worker-pool
+// recover path is the one being exercised.
+func (h *Harness) WorkerPanic() bool {
+	if h == nil || !h.roll(h.cfg.PanicProb) {
+		return false
+	}
+	h.panics.Add(1)
+	return true
+}
+
+// StoreWriteErr returns an injected error for an artifact-store write, or
+// nil.
+func (h *Harness) StoreWriteErr() error {
+	if h == nil || !h.roll(h.cfg.StoreWrite) {
+		return nil
+	}
+	h.storeErrors.Add(1)
+	return fmt.Errorf("%w: artifact store write error", ErrInjected)
+}
+
+// CrashNow reports whether the daemon should simulate a hard stop at the
+// given crash point.
+func (h *Harness) CrashNow(p CrashPoint) bool {
+	if h == nil || !h.roll(h.cfg.Crash[p]) {
+		return false
+	}
+	h.crashes.Add(1)
+	return true
+}
+
+// JournalHook is a journal.WriteHook: it delays appends by the configured
+// latency and, on a tear roll, truncates the frame mid-record exactly like
+// a power cut during write(2).
+func (h *Harness) JournalHook(frame []byte) []byte {
+	if h.cfg.JournalDelay > 0 {
+		h.delays.Add(1)
+		time.Sleep(h.cfg.JournalDelay)
+	}
+	if h.roll(h.cfg.JournalTear) {
+		h.tornWrites.Add(1)
+		return frame[:len(frame)/2]
+	}
+	return frame
+}
+
+// Enabled reports whether the harness injects anything (a nil harness does
+// not).
+func (h *Harness) Enabled() bool { return h != nil }
+
+// Stats snapshots delivered injections.
+func (h *Harness) Stats() Stats {
+	if h == nil {
+		return Stats{}
+	}
+	return Stats{
+		Panics:      h.panics.Load(),
+		StoreErrors: h.storeErrors.Load(),
+		TornWrites:  h.tornWrites.Load(),
+		Delays:      h.delays.Load(),
+		Crashes:     h.crashes.Load(),
+	}
+}

@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseFullSpec(t *testing.T) {
+	h, err := Parse("seed=7; panic=0.25; storewrite=0.5; journaldelay=10ms; journaltear=0.1; crash-commit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h.cfg
+	if cfg.Seed != 7 || cfg.PanicProb != 0.25 || cfg.StoreWrite != 0.5 ||
+		cfg.JournalDelay != 10*time.Millisecond || cfg.JournalTear != 0.1 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Crash[CrashCommit] != 1 || cfg.Crash[CrashStart] != 0 || cfg.Crash[CrashArtifact] != 0 {
+		t.Fatalf("crash points = %v", cfg.Crash)
+	}
+}
+
+func TestParseCrashAppliesToAllPoints(t *testing.T) {
+	h := MustParse("crash=0.5")
+	for p, v := range h.cfg.Crash {
+		if v != 0.5 {
+			t.Fatalf("crash[%s] = %v, want 0.5", CrashPoint(p), v)
+		}
+	}
+}
+
+func TestParseEmptyIsDisabled(t *testing.T) {
+	for _, s := range []string{"", "  ", " ; ; "} {
+		h, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if s == "" && h != nil {
+			t.Fatalf("Parse(%q) = %v, want nil", s, h)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"panic=2", "panic=-0.1", "panic=x", "bogus=1", "panic",
+		"journaldelay=-5ms", "seed=abc", "crash=1.5",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	draw := func(seed string) []bool {
+		h := MustParse(seed + ";panic=0.5")
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = h.WorkerPanic()
+		}
+		return out
+	}
+	a, b := draw("seed=42"), draw("seed=42")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := draw("seed=43")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+func TestProbabilityOneAlwaysFires(t *testing.T) {
+	h := MustParse("panic=1;storewrite=1;journaltear=1;crash=1")
+	for i := 0; i < 8; i++ {
+		if !h.WorkerPanic() {
+			t.Fatal("panic=1 did not fire")
+		}
+		if err := h.StoreWriteErr(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("storewrite=1 returned %v", err)
+		}
+		if !h.CrashNow(CrashCommit) {
+			t.Fatal("crash=1 did not fire")
+		}
+	}
+	frame := []byte("v1 deadbeef {}\n")
+	torn := h.JournalHook(frame)
+	if len(torn) >= len(frame) {
+		t.Fatalf("journaltear=1 left frame intact (%d bytes)", len(torn))
+	}
+	st := h.Stats()
+	if st.Panics != 8 || st.StoreErrors != 8 || st.Crashes != 8 || st.TornWrites != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNilHarnessIsInert(t *testing.T) {
+	var h *Harness
+	if h.Enabled() || h.WorkerPanic() || h.StoreWriteErr() != nil || h.CrashNow(CrashStart) {
+		t.Fatal("nil harness injected something")
+	}
+	if h.Stats() != (Stats{}) {
+		t.Fatal("nil harness has stats")
+	}
+}
+
+// TestNilHarnessZeroAlloc is the "provably zero-overhead when disabled"
+// gate: every hook the serving hot path consults must allocate nothing when
+// the harness is off.
+func TestNilHarnessZeroAlloc(t *testing.T) {
+	var h *Harness
+	allocs := testing.AllocsPerRun(1000, func() {
+		if h.WorkerPanic() {
+			t.Fatal("fired")
+		}
+		if h.StoreWriteErr() != nil {
+			t.Fatal("fired")
+		}
+		if h.CrashNow(CrashCommit) {
+			t.Fatal("fired")
+		}
+		if h.Enabled() {
+			t.Fatal("enabled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled chaos hooks allocate %v/op, want 0", allocs)
+	}
+}
+
+// A zero-probability param on an enabled harness must also stay allocation
+// free: enabling one injection must not tax the others' call sites.
+func TestZeroProbPathsZeroAlloc(t *testing.T) {
+	h := MustParse("journaldelay=1ms") // enabled, but every prob is 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if h.WorkerPanic() || h.StoreWriteErr() != nil || h.CrashNow(CrashStart) {
+			t.Fatal("fired")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("zero-prob chaos hooks allocate %v/op, want 0", allocs)
+	}
+}
+
+func TestCrashPointString(t *testing.T) {
+	if CrashStart.String() != "start" || CrashArtifact.String() != "artifact" || CrashCommit.String() != "commit" {
+		t.Fatalf("%v %v %v", CrashStart, CrashArtifact, CrashCommit)
+	}
+}

@@ -18,10 +18,13 @@ import (
 	"dtl/internal/serve"
 )
 
-// Client talks to one dtlserved instance.
+// Client talks to one dtlserved instance. By default every call is a single
+// attempt; WithRetry arms backoff, Retry-After honoring, and a circuit
+// breaker (see RetryPolicy).
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry *retrier // nil: single-attempt transport
 }
 
 // New builds a client for a daemon at base (e.g. "http://127.0.0.1:8080").
@@ -49,19 +52,34 @@ func (e *APIError) Error() string {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(b)
+		payload = b
+	}
+	if c.retry == nil {
+		return c.doOnce(ctx, method, path, payload, out)
+	}
+	return c.retry.run(ctx, func() error {
+		return c.doOnce(ctx, method, path, payload, out)
+	})
+}
+
+// doOnce is one attempt; the payload is pre-marshaled so retries replay the
+// exact same bytes from a fresh reader.
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) error {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -76,6 +94,22 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// breakerAllow gates the single-attempt endpoints (Stream, Artifact) on the
+// shared circuit breaker; a nil retrier always allows.
+func (c *Client) breakerAllow() error {
+	if c.retry != nil && !c.retry.breaker.allow() {
+		return ErrBreakerOpen
+	}
+	return nil
+}
+
+// breakerRecord feeds a single-attempt endpoint's outcome to the breaker.
+func (c *Client) breakerRecord(err error) {
+	if c.retry != nil {
+		c.retry.breaker.record(!countsAsBreakerFailure(err))
+	}
 }
 
 func apiErr(resp *http.Response) error {
@@ -156,11 +190,15 @@ func (c *Client) Wait(ctx context.Context, id string) (serve.JobStatus, error) {
 // and returns the final status once the job finishes. A nil onSnapshot just
 // waits for the terminal status over the stream.
 func (c *Client) Stream(ctx context.Context, id string, onSnapshot func(experiments.WatchSnapshot)) (serve.JobStatus, error) {
+	if err := c.breakerAllow(); err != nil {
+		return serve.JobStatus{}, err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
 		return serve.JobStatus{}, err
 	}
 	resp, err := c.http.Do(req)
+	c.breakerRecord(err)
 	if err != nil {
 		return serve.JobStatus{}, err
 	}
@@ -198,12 +236,16 @@ func (c *Client) Stream(ctx context.Context, id string, onSnapshot func(experime
 
 // Artifact fetches one artifact's bytes.
 func (c *Client) Artifact(ctx context.Context, id, name string) ([]byte, error) {
+	if err := c.breakerAllow(); err != nil {
+		return nil, err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.base+"/v1/jobs/"+id+"/artifacts/"+name, nil)
 	if err != nil {
 		return nil, err
 	}
 	resp, err := c.http.Do(req)
+	c.breakerRecord(err)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,265 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen fails a call fast while the circuit breaker is open: the
+// daemon has failed enough consecutive calls that hammering it with more is
+// pointless, so calls are refused locally until a cooldown elapses and a
+// half-open probe succeeds.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// RetryPolicy configures the hardened transport enabled by Client.WithRetry:
+// exponential backoff with full jitter, Retry-After honoring on 429/503, and
+// a circuit breaker. The zero value selects the defaults noted per field.
+//
+// Retrying is safe for every endpoint the policy covers because the daemon
+// is idempotent by construction: Submit of an identical spec lands in the
+// result cache or coalesces onto the in-flight run, so a retried submission
+// whose first attempt actually reached the server does not double-execute.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per call (first attempt included); 0 → 4.
+	MaxAttempts int
+	// BaseDelay is the backoff ceiling for the first retry; it doubles per
+	// attempt up to MaxDelay, and the actual sleep is uniform in [0, ceiling)
+	// (full jitter). 0 → 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling; 0 → 5s.
+	MaxDelay time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips the
+	// breaker open; 0 → 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting a
+	// single half-open probe; 0 → 10s.
+	BreakerCooldown time.Duration
+	// OnRetry, when set, observes each scheduled retry (attempt is 1-based:
+	// the attempt that just failed).
+	OnRetry func(attempt int, delay time.Duration, err error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = 5
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 10 * time.Second
+	}
+	return p
+}
+
+// WithRetry hardens the client's request path with the given policy and
+// returns the same client for chaining:
+//
+//	c := client.New(base).WithRetry(client.RetryPolicy{})
+//
+// Long-lived reads (Stream, Artifact) stay single-attempt — severing and
+// re-dialing a half-consumed stream is the caller's decision — but they do
+// consult and feed the circuit breaker.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = newRetrier(p)
+	return c
+}
+
+// retrier drives the attempt loop. The rng, sleep, and now fields are seams
+// replaced by unit tests; production uses the real clock and a time-seeded
+// source (client jitter must differ across processes — this is the one spot
+// in the codebase where nondeterminism is the feature).
+type retrier struct {
+	policy  RetryPolicy
+	breaker breaker
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+func newRetrier(p RetryPolicy) *retrier {
+	p = p.withDefaults()
+	r := &retrier{
+		policy: p,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		sleep:  sleepCtx,
+	}
+	r.breaker = breaker{threshold: p.BreakerThreshold, cooldown: p.BreakerCooldown, now: time.Now}
+	return r
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run executes attempt until it succeeds, exhausts the budget, fails
+// permanently, or the breaker opens. The returned error is always the last
+// attempt's error (errors.As on *APIError keeps working), annotated with the
+// attempt count when more than one was made.
+func (r *retrier) run(ctx context.Context, attempt func() error) error {
+	var lastErr error
+	for a := 0; a < r.policy.MaxAttempts; a++ {
+		if !r.breaker.allow() {
+			if lastErr != nil {
+				return fmt.Errorf("%w (last error: %v)", ErrBreakerOpen, lastErr)
+			}
+			return ErrBreakerOpen
+		}
+		err := attempt()
+		r.breaker.record(!countsAsBreakerFailure(err))
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		delay, retry := retryDelay(err)
+		if !retry || a == r.policy.MaxAttempts-1 {
+			break
+		}
+		if delay < 0 {
+			delay = r.backoff(a)
+		}
+		if r.policy.OnRetry != nil {
+			r.policy.OnRetry(a+1, delay, err)
+		}
+		if serr := r.sleep(ctx, delay); serr != nil {
+			return fmt.Errorf("%v (retry canceled: %w)", lastErr, serr)
+		}
+	}
+	return lastErr
+}
+
+// backoff draws the full-jitter delay for 0-based attempt a: uniform in
+// [0, min(MaxDelay, BaseDelay*2^a)).
+func (r *retrier) backoff(a int) time.Duration {
+	ceiling := r.policy.MaxDelay
+	if a < 62 {
+		if step := r.policy.BaseDelay << uint(a); step > 0 && step < ceiling {
+			ceiling = step
+		}
+	}
+	r.mu.Lock()
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(f * float64(ceiling))
+}
+
+// retryDelay classifies err: retry=false means permanent (bad request,
+// context expiry). delay >= 0 is a server-mandated wait (Retry-After);
+// delay < 0 means "use exponential backoff".
+func retryDelay(err error) (delay time.Duration, retry bool) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 0, false
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		return -1, true // transport error: connection refused, reset, ...
+	}
+	switch {
+	case apiErr.StatusCode == 429 || apiErr.StatusCode == 503:
+		if s, perr := strconv.Atoi(apiErr.RetryAfter); perr == nil && s >= 0 {
+			return time.Duration(s) * time.Second, true
+		}
+		return -1, true
+	case apiErr.StatusCode >= 500:
+		return -1, true
+	default:
+		return 0, false // other 4xx: the request itself is wrong
+	}
+}
+
+// countsAsBreakerFailure: transport errors and 5xx mean the daemon is
+// unhealthy and feed the breaker; 4xx (including 429 backpressure) means it
+// is alive and answering, so those reset the failure streak.
+func countsAsBreakerFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= 500
+	}
+	return true
+}
+
+type breakerState int
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+// breaker is a classic three-state circuit breaker: closed counts
+// consecutive failures and trips open at threshold; open fails fast until
+// cooldown elapses; then exactly one probe is admitted (half-open) — its
+// success closes the breaker, its failure re-opens it for another cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int
+	openedAt time.Time
+}
+
+// allow reports whether a call may proceed, transitioning open → half-open
+// when the cooldown has elapsed (the caller becomes the probe).
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkClosed:
+		return true
+	case bkOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = bkHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// record feeds one attempt's outcome into the state machine.
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = bkClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == bkHalfOpen || b.fails >= b.threshold {
+		b.state = bkOpen
+		b.openedAt = b.now()
+	}
+}

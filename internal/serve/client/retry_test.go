@@ -1,0 +1,269 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when told, so breaker cooldowns are exact.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// harness builds a retrying client against handler, with sleeps captured
+// instead of slept and the breaker on a fake clock.
+func harness(t *testing.T, p RetryPolicy, handler http.HandlerFunc) (*Client, *[]time.Duration, *fakeClock) {
+	t.Helper()
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	c := New(srv.URL).WithRetry(p)
+	var slept []time.Duration
+	c.retry.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c.retry.breaker.now = clk.now
+	return c, &slept, clk
+}
+
+func answer(code int, hdr map[string]string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for k, v := range hdr {
+			w.Header().Set(k, v)
+		}
+		w.WriteHeader(code)
+		w.Write([]byte(`{"error":"synthetic"}`))
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	c, slept, _ := harness(t, RetryPolicy{MaxAttempts: 4}, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			answer(http.StatusInternalServerError, nil)(w, r)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after transients: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("sleeps = %d, want 2", len(*slept))
+	}
+}
+
+func TestRetryExhaustsBudgetAndKeepsLastError(t *testing.T) {
+	var calls atomic.Int64
+	c, _, _ := harness(t, RetryPolicy{MaxAttempts: 3}, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		answer(http.StatusInternalServerError, nil)(w, r)
+	})
+	err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want 500 APIError", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3 (MaxAttempts)", calls.Load())
+	}
+}
+
+func TestPermanent4xxNeverRetries(t *testing.T) {
+	var calls atomic.Int64
+	c, slept, _ := harness(t, RetryPolicy{MaxAttempts: 5}, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		answer(http.StatusBadRequest, nil)(w, r)
+	})
+	err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if calls.Load() != 1 || len(*slept) != 0 {
+		t.Fatalf("400 caused retries: calls=%d sleeps=%d", calls.Load(), len(*slept))
+	}
+}
+
+func TestRetryAfterIsHonoredOn429And503(t *testing.T) {
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		var calls atomic.Int64
+		c, slept, _ := harness(t, RetryPolicy{MaxAttempts: 2}, func(w http.ResponseWriter, r *http.Request) {
+			if calls.Add(1) == 1 {
+				answer(code, map[string]string{"Retry-After": "7"})(w, r)
+				return
+			}
+			w.Write([]byte(`{"status":"ok"}`))
+		})
+		if err := c.Health(context.Background()); err != nil {
+			t.Fatalf("code %d: %v", code, err)
+		}
+		// The server's hint overrides exponential backoff exactly.
+		if len(*slept) != 1 || (*slept)[0] != 7*time.Second {
+			t.Fatalf("code %d: sleeps = %v, want [7s]", code, *slept)
+		}
+	}
+}
+
+func TestBackoffFullJitterBounds(t *testing.T) {
+	r := newRetrier(RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 800 * time.Millisecond})
+	r.rng = rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 8; attempt++ {
+		// Ceiling doubles per attempt and saturates at MaxDelay.
+		ceiling := 100 * time.Millisecond << uint(attempt)
+		if ceiling > 800*time.Millisecond || ceiling <= 0 {
+			ceiling = 800 * time.Millisecond
+		}
+		for i := 0; i < 200; i++ {
+			d := r.backoff(attempt)
+			if d < 0 || d >= ceiling {
+				t.Fatalf("attempt %d: delay %v outside [0, %v)", attempt, d, ceiling)
+			}
+		}
+	}
+	// Full jitter must actually spread: draws from one attempt are not all
+	// equal (a seeded rng with 200 draws collides with ~0 probability).
+	first := r.backoff(3)
+	varied := false
+	for i := 0; i < 50; i++ {
+		if r.backoff(3) != first {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("backoff produced constant delays; jitter missing")
+	}
+}
+
+func TestBreakerTripsOpensAndHalfOpens(t *testing.T) {
+	var calls atomic.Int64
+	var healthy atomic.Bool
+	p := RetryPolicy{MaxAttempts: 1, BreakerThreshold: 3, BreakerCooldown: 10 * time.Second}
+	c, _, clk := harness(t, p, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if healthy.Load() {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		answer(http.StatusInternalServerError, nil)(w, r)
+	})
+	ctx := context.Background()
+
+	// Three consecutive failures trip the breaker.
+	for i := 0; i < 3; i++ {
+		if err := c.Health(ctx); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+	// Open: calls fail fast without touching the wire.
+	if err := c.Health(ctx); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker returned %v, want ErrBreakerOpen", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("open breaker still hit the server (calls=%d)", calls.Load())
+	}
+	// Cooldown elapses; the probe goes through, fails, and re-opens.
+	clk.advance(11 * time.Second)
+	if err := c.Health(ctx); errors.Is(err, ErrBreakerOpen) || err == nil {
+		t.Fatalf("half-open probe err = %v, want server 500", err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("probe did not reach the server (calls=%d)", calls.Load())
+	}
+	if err := c.Health(ctx); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("failed probe should re-open the breaker, got %v", err)
+	}
+	// Next cooldown: the server has recovered, the probe succeeds, the
+	// breaker closes, and traffic flows again.
+	healthy.Store(true)
+	clk.advance(11 * time.Second)
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("recovered probe: %v", err)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("closed breaker: %v", err)
+	}
+	if calls.Load() != 6 {
+		t.Fatalf("calls = %d, want 6", calls.Load())
+	}
+}
+
+func TestBreaker4xxDoesNotTrip(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 1, BreakerThreshold: 2}
+	c, _, _ := harness(t, p, answer(http.StatusTooManyRequests, map[string]string{"Retry-After": "1"}))
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		err := c.Health(ctx)
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("call %d: %v (breaker must not trip on backpressure)", i, err)
+		}
+	}
+}
+
+func TestContextDeadlinePropagatesAndStopsRetries(t *testing.T) {
+	var calls atomic.Int64
+	c, _, _ := harness(t, RetryPolicy{MaxAttempts: 10}, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		answer(http.StatusInternalServerError, nil)(w, r)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the captured sleep seam returns ctx.Err() once canceled
+	err := c.Health(ctx)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if calls.Load() > 2 {
+		t.Fatalf("canceled context kept retrying (calls=%d)", calls.Load())
+	}
+}
+
+func TestStreamAndArtifactRespectOpenBreaker(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 1, BreakerThreshold: 1, BreakerCooldown: time.Hour}
+	c, _, _ := harness(t, p, answer(http.StatusInternalServerError, nil))
+	ctx := context.Background()
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("expected failure")
+	}
+	if _, err := c.Stream(ctx, "j000001", nil); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Stream through open breaker: %v", err)
+	}
+	if _, err := c.Artifact(ctx, "j000001", "report.txt"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Artifact through open breaker: %v", err)
+	}
+}
+
+func TestTransportErrorsRetry(t *testing.T) {
+	// A server that is immediately closed: every dial fails at the socket.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	c := New(url).WithRetry(RetryPolicy{MaxAttempts: 3})
+	var slept []time.Duration
+	c.retry.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("expected transport error")
+	}
+	if len(slept) != 2 {
+		t.Fatalf("transport error retried %d times, want 2", len(slept))
+	}
+}

@@ -2,6 +2,9 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -50,6 +53,11 @@ type JobSpec struct {
 	// TimeoutSec overrides the server's per-job timeout; 0 keeps the
 	// server default.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Force bypasses the idempotent result cache and in-flight coalescing:
+	// the job executes even when an identical spec already ran or is running.
+	// Determinism gates use it to re-run identical specs on purpose. Force
+	// does not change the spec digest.
+	Force bool `json:"force,omitempty"`
 }
 
 // normalized fills defaults and validates every field, so a bad spec is
@@ -88,6 +96,28 @@ func (s JobSpec) normalized() (JobSpec, error) {
 	return s, nil
 }
 
+// digest is the job's canonical identity: the hex SHA-256 of the normalized
+// spec fields that influence artifact bytes. TimeoutSec, Parallel, and Force
+// are excluded — they shape scheduling, not output — so two submissions that
+// would produce identical artifacts always share a digest. Only call it on
+// normalized specs, so filled defaults (seed 1, jsonl) don't split the key.
+func (s JobSpec) digest() string {
+	c := struct {
+		Experiment  string `json:"experiment"`
+		Seed        int64  `json:"seed"`
+		Quick       bool   `json:"quick"`
+		Policy      string `json:"policy"`
+		Faults      string `json:"faults"`
+		TraceFormat string `json:"trace_format"`
+	}{s.Experiment, s.Seed, s.Quick, s.Policy, s.Faults, s.TraceFormat}
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(err) // fixed field set of scalar types; cannot fail
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
 // traceArtifactName is the trace artifact's name for the spec's format.
 func (s JobSpec) traceArtifactName() string {
 	switch s.TraceFormat {
@@ -112,6 +142,7 @@ type JobStatus struct {
 	ID          string              `json:"id"`
 	State       State               `json:"state"`
 	Spec        JobSpec             `json:"spec"`
+	SpecDigest  string              `json:"spec_digest,omitempty"`
 	Error       string              `json:"error,omitempty"`
 	SubmittedAt time.Time           `json:"submitted_at"`
 	StartedAt   *time.Time          `json:"started_at,omitempty"`
@@ -125,8 +156,9 @@ type JobStatus struct {
 // (worker goroutine) and any number of stream subscribers synchronize on mu;
 // done closes exactly once when the job reaches a terminal state.
 type job struct {
-	id   string
-	spec JobSpec
+	id     string
+	spec   JobSpec
+	digest string // canonical spec digest; the result-cache key
 
 	mu        sync.Mutex
 	state     State
@@ -144,10 +176,11 @@ type job struct {
 	done chan struct{}
 }
 
-func newJob(id string, spec JobSpec, now time.Time) *job {
+func newJob(id string, spec JobSpec, digest string, now time.Time) *job {
 	return &job{
 		id:        id,
 		spec:      spec,
+		digest:    digest,
 		state:     StateQueued,
 		submitted: now,
 		subs:      map[chan experiments.WatchSnapshot]struct{}{},
@@ -165,11 +198,18 @@ func (j *job) start(cancel context.CancelFunc, now time.Time) {
 	j.cancel = cancel
 }
 
-// finish records the terminal state and wakes every waiter. The final watch
-// snapshot (if any) was published before finish, so stream subscribers that
-// observe done can still drain it.
-func (j *job) finish(state State, errMsg string, res *experiments.Result, arts []ArtifactInfo, now time.Time) {
+// finish records the terminal state and wakes every waiter, reporting whether
+// this call was the one that settled the job (finish is idempotent: the
+// worker-pool panic containment may race a finish already performed on the
+// normal path, and only the first settles). The final watch snapshot (if any)
+// was published before finish, so stream subscribers that observe done can
+// still drain it.
+func (j *job) finish(state State, errMsg string, res *experiments.Result, arts []ArtifactInfo, now time.Time) bool {
 	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
 	j.state = state
 	j.err = errMsg
 	j.result = res
@@ -178,6 +218,7 @@ func (j *job) finish(state State, errMsg string, res *experiments.Result, arts [
 	j.cancel = nil
 	j.mu.Unlock()
 	close(j.done)
+	return true
 }
 
 // requestCancel triggers the job's context; a no-op unless running.
@@ -247,6 +288,7 @@ func (j *job) status() JobStatus {
 		ID:          j.id,
 		State:       j.state,
 		Spec:        j.spec,
+		SpecDigest:  j.digest,
 		Error:       j.err,
 		SubmittedAt: j.submitted,
 		Snapshots:   j.snapshots,

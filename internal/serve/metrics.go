@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dtl/internal/metrics"
+	"dtl/internal/serve/chaos"
 	"dtl/internal/telemetry"
 )
 
@@ -25,6 +26,11 @@ type serverMetrics struct {
 	done     atomic.Int64
 	failed   atomic.Int64
 	canceled atomic.Int64
+
+	panicked      atomic.Int64 // jobs killed by a panic (experiment or worker)
+	cacheHits     atomic.Int64 // submissions satisfied by a done twin
+	coalesced     atomic.Int64 // submissions merged onto an in-flight twin
+	journalErrors atomic.Int64 // write-ahead appends that failed
 
 	mu        sync.Mutex
 	durations []float64 // seconds, newest last, capped
@@ -86,14 +92,28 @@ func (m *serverMetrics) finished(state State, d time.Duration) {
 	m.mu.Unlock()
 }
 
-// writeMetrics renders the exposition. queueDepth and draining are sampled
-// by the caller (they live on the Server).
-func (m *serverMetrics) writeMetrics(w io.Writer, queueDepth, queueCap int, workers int, draining bool) {
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+// metricsView carries the server-owned state the exposition samples at
+// scrape time (the rest lives on serverMetrics itself).
+type metricsView struct {
+	queueDepth, queueCap, workers int
+	draining, crashed             bool
+	recovery                      RecoveryStats
+	chaos                         *chaos.Harness
+}
+
+// writeMetrics renders the exposition.
+func (m *serverMetrics) writeMetrics(w io.Writer, v metricsView) {
+	counter := func(name, help string, n int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, n)
 	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	gauge := func(name, help string, n int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, n)
+	}
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
 	}
 	counter("dtlserved_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted.Load())
 	counter("dtlserved_jobs_rejected_total", "Jobs rejected with 429 (queue full).", m.queueRejected.Load())
@@ -103,15 +123,30 @@ func (m *serverMetrics) writeMetrics(w io.Writer, queueDepth, queueCap int, work
 	fmt.Fprintf(w, "dtlserved_jobs_completed_total{state=\"done\"} %d\n", m.done.Load())
 	fmt.Fprintf(w, "dtlserved_jobs_completed_total{state=\"failed\"} %d\n", m.failed.Load())
 	fmt.Fprintf(w, "dtlserved_jobs_completed_total{state=\"canceled\"} %d\n", m.canceled.Load())
-	gauge("dtlserved_queue_depth", "Jobs waiting in the admission queue.", int64(queueDepth))
-	gauge("dtlserved_queue_capacity", "Admission queue capacity.", int64(queueCap))
-	gauge("dtlserved_workers", "Worker pool size.", int64(workers))
+	counter("dtlserved_jobs_panicked_total", "Jobs killed by a panic and contained by the worker pool.", m.panicked.Load())
+	counter("dtlserved_result_cache_hits_total", "Submissions answered from the idempotent result cache.", m.cacheHits.Load())
+	counter("dtlserved_jobs_coalesced_total", "Submissions coalesced onto an identical in-flight job.", m.coalesced.Load())
+	counter("dtlserved_journal_errors_total", "Write-ahead journal appends that failed.", m.journalErrors.Load())
+	gauge("dtlserved_queue_depth", "Jobs waiting in the admission queue.", int64(v.queueDepth))
+	gauge("dtlserved_queue_capacity", "Admission queue capacity.", int64(v.queueCap))
+	gauge("dtlserved_workers", "Worker pool size.", int64(v.workers))
 	gauge("dtlserved_workers_busy", "Workers currently running a job.", m.busyWorkers.Load())
-	d := int64(0)
-	if draining {
-		d = 1
+	gauge("dtlserved_draining", "1 while the server refuses new jobs.", b2i(v.draining))
+	gauge("dtlserved_crashed", "1 after a chaos crash point hard-stopped the server.", b2i(v.crashed))
+	gauge("dtlserved_recovery_jobs_restored", "Terminal jobs restored from the journal at startup.", int64(v.recovery.Restored))
+	gauge("dtlserved_recovery_jobs_reenqueued", "Interrupted jobs re-enqueued from the journal at startup.", int64(v.recovery.Reenqueued))
+	gauge("dtlserved_recovery_artifacts_poisoned", "Done jobs demoted to failed at startup for crash-poisoned artifacts.", int64(v.recovery.Poisoned))
+	gauge("dtlserved_recovery_journal_corrupt_records", "Journal records dropped at startup for CRC or framing failures.", int64(v.recovery.CorruptRecords))
+	if v.chaos.Enabled() {
+		cs := v.chaos.Stats()
+		fmt.Fprintf(w, "# HELP dtlserved_chaos_injections_total Faults delivered by the chaos harness, by kind.\n")
+		fmt.Fprintf(w, "# TYPE dtlserved_chaos_injections_total counter\n")
+		fmt.Fprintf(w, "dtlserved_chaos_injections_total{kind=\"panic\"} %d\n", cs.Panics)
+		fmt.Fprintf(w, "dtlserved_chaos_injections_total{kind=\"store_error\"} %d\n", cs.StoreErrors)
+		fmt.Fprintf(w, "dtlserved_chaos_injections_total{kind=\"torn_write\"} %d\n", cs.TornWrites)
+		fmt.Fprintf(w, "dtlserved_chaos_injections_total{kind=\"delay\"} %d\n", cs.Delays)
+		fmt.Fprintf(w, "dtlserved_chaos_injections_total{kind=\"crash\"} %d\n", cs.Crashes)
 	}
-	gauge("dtlserved_draining", "1 while the server refuses new jobs.", d)
 
 	m.mu.Lock()
 	durs := append([]float64(nil), m.durations...)

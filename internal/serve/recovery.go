@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dtl/internal/experiments"
+	"dtl/internal/serve/journal"
+)
+
+// The durability layer. Every job transition lands in an append-only journal
+// (internal/serve/journal) before it becomes externally visible, so a
+// SIGKILL at any instant loses no accepted work:
+//
+//	submitted  appended before Submit returns; carries the full spec and
+//	           its canonical digest — enough to re-run the job from scratch
+//	started    appended when a worker picks the job up (observability: the
+//	           crash matrix distinguishes died-queued from died-running)
+//	finished   appended after artifacts are committed to the store; this is
+//	           the commit record — a job is durable-done iff it exists
+//
+// On restart the journal is replayed: jobs with a finished record are
+// restored verbatim (their artifacts re-verified against the store — a
+// finished record pointing at a missing object marks the job poisoned and
+// failed); jobs without one were queued or running at crash time and are
+// re-enqueued for a fresh run, which is sound because identical specs
+// produce byte-identical artifacts and the content-addressed store dedupes
+// the re-run onto any objects the first attempt already committed. After
+// replay the journal is compacted (temp file + fsync + rename) down to two
+// records per settled job, clearing torn or corrupt lines.
+
+// journalName is the journal's filename inside the store directory.
+const journalName = "journal.jsonl"
+
+// walRecord is one journal entry. Type selects which fields are meaningful.
+type walRecord struct {
+	Type string    `json:"type"` // "submitted" | "started" | "finished"
+	ID   string    `json:"id"`
+	Time time.Time `json:"time"`
+
+	// submitted
+	Spec   *JobSpec `json:"spec,omitempty"`
+	Digest string   `json:"digest,omitempty"`
+
+	// finished
+	State     State               `json:"state,omitempty"`
+	Error     string              `json:"error,omitempty"`
+	Artifacts []ArtifactInfo      `json:"artifacts,omitempty"`
+	Result    *experiments.Result `json:"result,omitempty"`
+}
+
+// RecoveryStats reports what a restart found in the journal.
+type RecoveryStats struct {
+	// Restored counts terminal jobs reconstructed from their finished
+	// records (poisoned jobs count here too).
+	Restored int
+	// Reenqueued counts jobs that were queued or running at crash time and
+	// were put back on the queue for a fresh run.
+	Reenqueued int
+	// Poisoned counts done jobs demoted to failed because a crash left one
+	// of their artifacts missing from the store.
+	Poisoned int
+	// CorruptRecords counts journal lines dropped for CRC or framing
+	// failures; TornTail marks the classic died-mid-append signature.
+	CorruptRecords int
+	TornTail       bool
+}
+
+// JournalPath reports the server's journal location.
+func (s *Server) JournalPath() string { return filepath.Join(s.cfg.StoreDir, journalName) }
+
+// Recovery reports what this server's startup replay found.
+func (s *Server) Recovery() RecoveryStats { return s.recovery }
+
+// recover replays the journal, rebuilds the job registry, compacts the log,
+// and returns the jobs that must be re-enqueued (in submission order). It
+// runs during New, before workers start, so no locking is needed.
+func (s *Server) recoverJournal() ([]*job, error) {
+	path := s.JournalPath()
+	payloads, stats, err := journal.Replay(path)
+	if err != nil {
+		return nil, err
+	}
+	s.recovery.CorruptRecords = stats.Corrupt
+	s.recovery.TornTail = stats.TornTail
+
+	// Fold records into per-job replay state, keeping submission order.
+	type replayed struct {
+		spec      JobSpec
+		digest    string
+		submitted time.Time
+		started   time.Time
+		fin       *walRecord
+	}
+	byID := map[string]*replayed{}
+	var order []string
+	for _, p := range payloads {
+		var rec walRecord
+		if err := json.Unmarshal(p, &rec); err != nil || rec.ID == "" {
+			s.recovery.CorruptRecords++
+			continue
+		}
+		switch rec.Type {
+		case "submitted":
+			if rec.Spec == nil {
+				s.recovery.CorruptRecords++
+				continue
+			}
+			if _, dup := byID[rec.ID]; dup {
+				continue // compaction artifact or duplicate append; first wins
+			}
+			byID[rec.ID] = &replayed{spec: *rec.Spec, digest: rec.Digest, submitted: rec.Time}
+			order = append(order, rec.ID)
+		case "started":
+			if r, ok := byID[rec.ID]; ok {
+				r.started = rec.Time
+			}
+		case "finished":
+			if r, ok := byID[rec.ID]; ok && r.fin == nil {
+				rec := rec
+				r.fin = &rec
+			}
+		default:
+			s.recovery.CorruptRecords++
+		}
+	}
+
+	// Rebuild jobs. Terminal jobs are restored (after artifact
+	// verification); the rest are re-enqueued for a fresh run.
+	var reenqueue []*job
+	for _, id := range order {
+		r := byID[id]
+		if r.digest == "" {
+			r.digest = r.spec.digest()
+		}
+		j := newJob(id, r.spec, r.digest, r.submitted)
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		if n := idSeq(id); n > s.seq {
+			s.seq = n
+		}
+		if r.fin == nil {
+			s.recovery.Reenqueued++
+			reenqueue = append(reenqueue, j)
+			continue
+		}
+		if !r.started.IsZero() {
+			j.started = r.started
+		}
+		state, errMsg := r.fin.State, r.fin.Error
+		arts, res := r.fin.Artifacts, r.fin.Result
+		if state == StateDone {
+			if missing := s.missingArtifacts(arts); len(missing) > 0 {
+				// The finished record survived but an object did not — only
+				// possible if the store directory was tampered with or a
+				// torn store landed between fsyncs. Fail loudly, keep the
+				// job visible, never serve half an artifact set.
+				state = StateFailed
+				errMsg = fmt.Sprintf("artifacts poisoned by crash: %s missing from store",
+					strings.Join(missing, ", "))
+				arts, res = nil, nil
+				s.recovery.Poisoned++
+			} else {
+				s.byDigest[j.digest] = id
+			}
+		}
+		j.finish(state, errMsg, res, arts, r.fin.Time)
+		s.recovery.Restored++
+	}
+
+	// Point the cache at re-enqueued runs too, so duplicate submissions
+	// arriving after a restart coalesce onto the recovery run instead of
+	// double-executing. (Done jobs win: the loop above set those first, and
+	// a digest maps to a re-enqueued job only when no done twin exists.)
+	for _, j := range reenqueue {
+		if _, ok := s.byDigest[j.digest]; !ok {
+			s.byDigest[j.digest] = j.id
+		}
+	}
+
+	// Compact: two records per settled job, one per re-enqueued job, no
+	// corrupt lines. Skipped when the journal is already minimal.
+	if err := s.compactJournal(); err != nil {
+		return nil, err
+	}
+	return reenqueue, nil
+}
+
+// compactJournal rewrites the log to its canonical minimal form based on the
+// in-memory registry (only safe before workers start or with s.mu held and
+// the journal quiescent — it is called from recoverJournal).
+func (s *Server) compactJournal() error {
+	var payloads [][]byte
+	for _, id := range s.order {
+		j := s.jobs[id]
+		st := j.status()
+		sub, err := json.Marshal(walRecord{
+			Type: "submitted", ID: id, Time: st.SubmittedAt, Spec: &j.spec, Digest: j.digest,
+		})
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, sub)
+		if !st.State.Terminal() {
+			continue
+		}
+		var ft time.Time
+		if st.FinishedAt != nil {
+			ft = *st.FinishedAt
+		}
+		fin, err := json.Marshal(walRecord{
+			Type: "finished", ID: id, Time: ft, State: st.State, Error: st.Error,
+			Artifacts: st.Artifacts, Result: st.Result,
+		})
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, fin)
+	}
+	return journal.Rewrite(s.JournalPath(), payloads)
+}
+
+// missingArtifacts lists artifact names whose objects are absent from the
+// store, sorted for a stable error message.
+func (s *Server) missingArtifacts(arts []ArtifactInfo) []string {
+	var missing []string
+	for _, a := range arts {
+		if !s.store.Has(a.Digest) {
+			missing = append(missing, a.Name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// idSeq extracts the numeric suffix of a job id ("j000042" -> 42); 0 when
+// the id is not in the canonical form.
+func idSeq(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// appendWAL marshals and appends one journal record. Append failures are
+// counted but do not fail the job: the in-memory run proceeds and only its
+// durability is lost (the operator sees dtlserved_journal_errors_total).
+func (s *Server) appendWAL(rec walRecord) error {
+	b, err := json.Marshal(rec)
+	if err == nil {
+		err = s.journal.Append(b)
+	}
+	if err != nil {
+		s.met.journalErrors.Add(1)
+	}
+	return err
+}

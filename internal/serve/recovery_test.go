@@ -1,0 +1,467 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dtl/internal/serve"
+	"dtl/internal/serve/chaos"
+	"dtl/internal/serve/journal"
+)
+
+// waitTerminal polls the server directly until the job reaches a terminal
+// state. Tests that crash the HTTP front end still need to observe jobs.
+func waitTerminal(t *testing.T, srv *serve.Server, id string) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, ok := srv.Job(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return serve.JobStatus{}
+}
+
+// waitCrashed polls until a chaos crash point has hard-stopped the server.
+func waitCrashed(t *testing.T, srv *serve.Server) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		if srv.Crashed() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("server never hit the chaos crash point")
+}
+
+// digestsOf maps artifact name -> object digest for byte-identity checks.
+func digestsOf(st serve.JobStatus) map[string]string {
+	out := map[string]string{}
+	for _, a := range st.Artifacts {
+		out[a.Name] = a.Digest
+	}
+	return out
+}
+
+// metricValue scrapes /metrics and returns the (unlabeled) sample value.
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// submitRaw POSTs a spec and returns the HTTP status code plus the decoded
+// job status, to observe the 200-cache-hit vs 202-accepted distinction.
+func submitRaw(t *testing.T, base string, spec serve.JobSpec) (int, serve.JobStatus) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+// A resubmitted spec must be answered from the result cache: same job id,
+// HTTP 200 (not 202), no second execution, and the counters prove it.
+func TestResultCacheHitSkipsExecution(t *testing.T) {
+	_, c := newServer(t, serve.Config{Workers: 1})
+	ctx := ctxT(t)
+	spec := serve.JobSpec{Experiment: "fig12", Quick: true}
+
+	code, first := submitRaw(t, c.BaseURL(), spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("fresh submit = %d, want 202", code)
+	}
+	done, err := c.Wait(ctx, first.ID)
+	if err != nil || done.State != serve.StateDone {
+		t.Fatalf("first run: %v %s %s", err, done.State, done.Error)
+	}
+
+	code, second := submitRaw(t, c.BaseURL(), spec)
+	if code != http.StatusOK {
+		t.Fatalf("cached submit = %d, want 200", code)
+	}
+	if second.ID != first.ID || second.State != serve.StateDone {
+		t.Fatalf("cache returned %s/%s, want %s/done", second.ID, second.State, first.ID)
+	}
+	if second.SpecDigest == "" || second.SpecDigest != first.SpecDigest {
+		t.Fatalf("spec digests %q vs %q", first.SpecDigest, second.SpecDigest)
+	}
+	if got := metricValue(t, c.BaseURL(), "dtlserved_jobs_submitted_total"); got != 1 {
+		t.Fatalf("jobs_submitted_total = %v, want 1 (cache hit must not resubmit)", got)
+	}
+	if got := metricValue(t, c.BaseURL(), "dtlserved_result_cache_hits_total"); got != 1 {
+		t.Fatalf("result_cache_hits_total = %v, want 1", got)
+	}
+
+	// Force punches through the cache and runs again.
+	spec.Force = true
+	code, third := submitRaw(t, c.BaseURL(), spec)
+	if code != http.StatusAccepted || third.ID == first.ID {
+		t.Fatalf("force submit = %d id %s, want 202 and a fresh id", code, third.ID)
+	}
+}
+
+// An identical spec submitted while its twin is still in flight coalesces
+// onto that execution instead of queueing a duplicate.
+func TestInFlightCoalescing(t *testing.T) {
+	srv, c := newServer(t, serve.Config{Workers: 0}) // no workers: jobs stay queued
+	spec := serve.JobSpec{Experiment: "fig12", Quick: true}
+
+	first, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != first.ID {
+		t.Fatalf("in-flight duplicate got id %s, want coalesce onto %s", dup.ID, first.ID)
+	}
+	if n := len(srv.Jobs()); n != 1 {
+		t.Fatalf("registry has %d jobs, want 1", n)
+	}
+	if got := metricValue(t, c.BaseURL(), "dtlserved_jobs_coalesced_total"); got != 1 {
+		t.Fatalf("jobs_coalesced_total = %v, want 1", got)
+	}
+	// Force still opts out.
+	forced, err := srv.Submit(serve.JobSpec{Experiment: "fig12", Quick: true, Force: true})
+	if err != nil || forced.ID == first.ID {
+		t.Fatalf("forced duplicate: %v id %s", err, forced.ID)
+	}
+}
+
+// A spec that passes admission but panics inside the experiment (fig12
+// validates the fault geometry only at run time) must fail that job and leave
+// the daemon serving.
+func TestPanickingSpecFailsJobNotDaemon(t *testing.T) {
+	srv, c := newServer(t, serve.Config{Workers: 1})
+	ctx := ctxT(t)
+
+	bad, err := srv.Submit(serve.JobSpec{Experiment: "fig12", Quick: true, Faults: "kill:ch99/rk0"})
+	if err != nil {
+		t.Fatalf("spec must pass admission (geometry is checked at run time): %v", err)
+	}
+	st := waitTerminal(t, srv, bad.ID)
+	if st.State != serve.StateFailed || !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("panicking spec finished %s (%q), want failed+panicked", st.State, st.Error)
+	}
+	if got := metricValue(t, c.BaseURL(), "dtlserved_jobs_panicked_total"); got != 1 {
+		t.Fatalf("jobs_panicked_total = %v, want 1", got)
+	}
+
+	// The worker survived; a healthy job still runs to completion.
+	ok, err := c.Submit(ctx, serve.JobSpec{Experiment: "fig12", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin := waitTerminal(t, srv, ok.ID); fin.State != serve.StateDone {
+		t.Fatalf("post-panic job finished %s (%s)", fin.State, fin.Error)
+	}
+}
+
+// Chaos-injected worker panics take the containment path outside the
+// experiment-level recover and still resolve to failed jobs.
+func TestChaosWorkerPanicContained(t *testing.T) {
+	h := chaos.MustParse("seed=1;panic=1")
+	srv, c := newServer(t, serve.Config{Workers: 1, Chaos: h})
+
+	st, err := srv.Submit(serve.JobSpec{Experiment: "fig12", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, srv, st.ID)
+	if fin.State != serve.StateFailed || !strings.Contains(fin.Error, "worker panicked") {
+		t.Fatalf("chaos panic finished %s (%q)", fin.State, fin.Error)
+	}
+	if h.Stats().Panics == 0 {
+		t.Fatal("harness recorded no panic injections")
+	}
+	if got := metricValue(t, c.BaseURL(), "dtlserved_jobs_panicked_total"); got != 1 {
+		t.Fatalf("jobs_panicked_total = %v, want 1", got)
+	}
+}
+
+// The headline crash-safety property: hard-stop the daemon at each crash
+// point mid-job, restart on the same store directory, and the job re-runs to
+// byte-identical artifact digests; the journal compacts along the way.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	spec := serve.JobSpec{Experiment: "fig12", Quick: true}
+
+	// Baseline digests from an undisturbed run.
+	clean, err := serve.New(serve.Config{Workers: 1, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := clean.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := digestsOf(waitTerminal(t, clean, st.ID))
+	if len(baseline) == 0 {
+		t.Fatal("baseline run produced no artifacts")
+	}
+
+	for _, point := range []string{"crash-start", "crash-artifact", "crash-commit"} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			crashed, err := serve.New(serve.Config{
+				Workers:  1,
+				StoreDir: dir,
+				Chaos:    chaos.MustParse("seed=1;" + point + "=1"),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, err := crashed.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitCrashed(t, crashed)
+
+			// A crashed daemon accepts nothing more.
+			if _, err := crashed.Submit(serve.JobSpec{Experiment: "fig12", Quick: true, Force: true}); !errors.Is(err, serve.ErrCrashed) {
+				t.Fatalf("submit to crashed server: %v, want ErrCrashed", err)
+			}
+			if st, _ := crashed.Job(sub.ID); st.State.Terminal() {
+				t.Fatalf("crash point %s left the job terminal (%s)", point, st.State)
+			}
+
+			// Restart on the same directory: the journal re-enqueues the
+			// interrupted job under its original id.
+			successor, err := serve.New(serve.Config{Workers: 1, StoreDir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := successor.Recovery()
+			if rec.Reenqueued != 1 || rec.Restored != 0 {
+				t.Fatalf("recovery = %+v, want exactly the interrupted job re-enqueued", rec)
+			}
+			fin := waitTerminal(t, successor, sub.ID)
+			if fin.State != serve.StateDone {
+				t.Fatalf("recovered job finished %s (%s)", fin.State, fin.Error)
+			}
+			got := digestsOf(fin)
+			if len(got) != len(baseline) {
+				t.Fatalf("artifact sets differ: %v vs baseline %v", got, baseline)
+			}
+			for name, want := range baseline {
+				if got[name] != want {
+					t.Fatalf("artifact %s digest %s after recovery, want %s (byte-identity)", name, got[name], want)
+				}
+			}
+
+			// Duplicate submissions after the restart hit the cache/coalesce
+			// path and land on the recovered job, not a double execution.
+			again, err := successor.Submit(spec)
+			if err != nil || again.ID != sub.ID {
+				t.Fatalf("post-recovery resubmit: %v id %s, want %s", err, again.ID, sub.ID)
+			}
+
+			if err := successor.Drain(ctxT(t)); err != nil {
+				t.Fatal(err)
+			}
+			// A third open compacts the journal to its canonical two records
+			// (submitted+finished) and finds only a settled job to restore.
+			third, err := serve.New(serve.Config{Workers: 0, StoreDir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec = third.Recovery()
+			if rec.Restored != 1 || rec.Reenqueued != 0 || rec.Poisoned != 0 || rec.CorruptRecords != 0 {
+				t.Fatalf("settled recovery = %+v", rec)
+			}
+			if st, ok := third.Job(sub.ID); !ok || st.State != serve.StateDone {
+				t.Fatalf("restored job: ok=%v state=%s", ok, st.State)
+			}
+			payloads, _, err := journal.Replay(third.JournalPath())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(payloads) != 2 {
+				t.Fatalf("compacted journal has %d records, want 2", len(payloads))
+			}
+		})
+	}
+}
+
+// A finished record whose artifact objects are gone (crash-torn or tampered
+// store) must surface as a poisoned, failed job — never a half-served result.
+func TestPoisonedArtifactsDetectedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := serve.New(serve.Config{Workers: 1, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := srv.Submit(serve.JobSpec{Experiment: "fig12", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, srv, st.ID)
+	if fin.State != serve.StateDone || len(fin.Artifacts) == 0 {
+		t.Fatalf("setup run: %s with %d artifacts", fin.State, len(fin.Artifacts))
+	}
+	if err := srv.Drain(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn store: one committed object vanishes.
+	d := fin.Artifacts[0].Digest
+	if err := os.Remove(filepath.Join(dir, "objects", d[:2], d)); err != nil {
+		t.Fatal(err)
+	}
+
+	successor, err := serve.New(serve.Config{Workers: 0, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := successor.Recovery()
+	if rec.Poisoned != 1 || rec.Restored != 1 {
+		t.Fatalf("recovery = %+v, want the done job restored-as-poisoned", rec)
+	}
+	got, ok := successor.Job(st.ID)
+	if !ok || got.State != serve.StateFailed || !strings.Contains(got.Error, "poisoned") {
+		t.Fatalf("poisoned job: ok=%v state=%s err=%q", ok, got.State, got.Error)
+	}
+	if len(got.Artifacts) != 0 {
+		t.Fatal("poisoned job still advertises artifacts")
+	}
+	// The cache must not serve the poisoned job: resubmitting re-runs it.
+	resub, err := successor.Submit(serve.JobSpec{Experiment: "fig12", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resub.ID == st.ID {
+		t.Fatalf("resubmit after poisoning coalesced onto the failed job %s", st.ID)
+	}
+}
+
+// Torn and delayed journal writes under chaos corrupt individual records but
+// never take the daemon down, and recovery drops exactly the torn frames.
+func TestTornJournalWritesSurvived(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := serve.New(serve.Config{
+		Workers:  1,
+		StoreDir: dir,
+		Chaos:    chaos.MustParse("seed=7;journaltear=0.5;journaldelay=1ms"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, err := srv.Submit(serve.JobSpec{Experiment: "fig12", Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		if fin := waitTerminal(t, srv, id); fin.State != serve.StateDone {
+			t.Fatalf("job %s under journal chaos: %s (%s)", id, fin.State, fin.Error)
+		}
+	}
+	if err := srv.Drain(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery tolerates whatever the tearing left behind: every record that
+	// survived intact is honored, the rest are counted and dropped, and any
+	// job whose finished record was torn simply re-runs.
+	successor, err := serve.New(serve.Config{Workers: 1, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := successor.Recovery()
+	if rec.CorruptRecords == 0 {
+		t.Fatalf("recovery = %+v; seed=7 tear=0.5 should corrupt some records", rec)
+	}
+	if rec.Restored+rec.Reenqueued == 0 {
+		t.Fatalf("recovery = %+v recovered nothing", rec)
+	}
+	for _, id := range ids {
+		st, ok := successor.Job(id)
+		if !ok {
+			// This job's submitted record was torn: acceptable loss only if
+			// it had already finished in the first life (it did — asserted
+			// above), so nothing user-visible was lost that the first
+			// process had acknowledged durable. Skip.
+			continue
+		}
+		if !st.State.Terminal() {
+			if fin := waitTerminal(t, successor, id); fin.State != serve.StateDone {
+				t.Fatalf("re-run of %s: %s (%s)", id, fin.State, fin.Error)
+			}
+		}
+	}
+}
+
+// Recovered jobs ride ahead of the configured queue depth: a full crash-time
+// queue re-enqueues completely without tripping admission control.
+func TestRecoveryQueueOverflow(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := serve.New(serve.Config{Workers: 0, QueueDepth: 2, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Submit(serve.JobSpec{Experiment: "fig12", Quick: true, Seed: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := srv.Submit(serve.JobSpec{Experiment: "fig12", Quick: true, Seed: 9}); !errors.Is(err, serve.ErrQueueFull) {
+		t.Fatalf("third submit: %v, want ErrQueueFull", err)
+	}
+	// Die without draining: both queued jobs are interrupted.
+	successor, err := serve.New(serve.Config{Workers: 1, QueueDepth: 2, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := successor.Recovery(); rec.Reenqueued != 2 {
+		t.Fatalf("recovery = %+v, want 2 re-enqueued", rec)
+	}
+	for _, st := range successor.Jobs() {
+		if fin := waitTerminal(t, successor, st.ID); fin.State != serve.StateDone {
+			t.Fatalf("recovered %s: %s (%s)", st.ID, fin.State, fin.Error)
+		}
+	}
+}

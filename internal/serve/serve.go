@@ -9,7 +9,20 @@
 //
 // Identical job specs produce byte-identical artifacts (the simulator is
 // deterministic by construction), which the store makes directly visible:
-// repeated runs share object digests.
+// repeated runs share object digests. The same determinism powers the
+// idempotent result cache: re-submitting a spec whose digest already maps to
+// a done job returns that job without executing anything, and an identical
+// spec submitted while its twin is queued or running coalesces onto the
+// in-flight execution (JobSpec.Force opts out of both).
+//
+// The daemon is crash-safe: every accepted job is journaled before Submit
+// returns (see recovery.go for the write-ahead schema), artifact commits are
+// temp-file+fsync+rename atomic, and a restart on the same store directory
+// replays the journal — finished jobs come back verbatim, interrupted jobs
+// re-run to byte-identical artifacts. The chaos harness
+// (internal/serve/chaos, dtlserved -chaos) injects worker panics, store
+// write failures, torn journal writes, and simulated power cuts at the
+// crash points that recovery must survive.
 package serve
 
 import (
@@ -23,6 +36,8 @@ import (
 	"time"
 
 	"dtl/internal/experiments"
+	"dtl/internal/serve/chaos"
+	"dtl/internal/serve/journal"
 	"dtl/internal/telemetry"
 )
 
@@ -41,20 +56,35 @@ type Config struct {
 	JobTimeout time.Duration
 	// RetryAfter is the backoff hint sent with 429 responses; 0 selects 1s.
 	RetryAfter time.Duration
+	// Chaos, when non-nil, injects faults into workers, the artifact store,
+	// and the journal. Nil (the default) is the provably zero-overhead
+	// disabled case.
+	Chaos *chaos.Harness
+	// OnCrash runs once when a chaos crash point hard-stops the server. The
+	// daemon exits the process here; tests leave it nil and start a
+	// successor server on the same StoreDir instead.
+	OnCrash func()
 }
 
-// Server owns the queue, the workers, the job registry, and the store.
+// Server owns the queue, the workers, the job registry, the store, and the
+// write-ahead journal.
 type Server struct {
-	cfg   Config
-	store *Store
-	met   serverMetrics
+	cfg      Config
+	store    *Store
+	journal  *journal.Journal
+	chaos    *chaos.Harness
+	met      serverMetrics
+	recovery RecoveryStats
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // submission order, for GET /v1/jobs
-	queue    chan *job
-	draining bool
-	seq      int
+	mu          sync.Mutex
+	jobs        map[string]*job
+	order       []string          // submission order, for GET /v1/jobs
+	byDigest    map[string]string // spec digest -> job id; the result cache
+	queue       chan *job
+	draining    bool
+	crashed     bool
+	queueClosed bool
+	seq         int
 
 	workers sync.WaitGroup
 }
@@ -65,7 +95,17 @@ var ErrDraining = errors.New("serve: draining, not accepting jobs")
 // ErrQueueFull rejects submissions when the admission queue is at capacity.
 var ErrQueueFull = errors.New("serve: job queue full")
 
-// New builds a server and starts its worker pool.
+// ErrCrashed rejects submissions after a chaos crash point hard-stopped the
+// server; like a real dead daemon, it does nothing further.
+var ErrCrashed = errors.New("serve: crashed (chaos hard stop)")
+
+// ErrJournal rejects a submission whose write-ahead record could not be made
+// durable: accepting it would mean losing the job on a crash.
+var ErrJournal = errors.New("serve: journal write failed")
+
+// New builds a server: it opens the store (sweeping crash debris), replays
+// and compacts the journal, re-enqueues jobs that were queued or running when
+// the previous process died, and starts the worker pool.
 func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 8
@@ -84,11 +124,31 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	store.SetChaos(cfg.Chaos)
 	s := &Server{
-		cfg:   cfg,
-		store: store,
-		jobs:  map[string]*job{},
-		queue: make(chan *job, cfg.QueueDepth),
+		cfg:      cfg,
+		store:    store,
+		chaos:    cfg.Chaos,
+		jobs:     map[string]*job{},
+		byDigest: map[string]string{},
+	}
+	reenqueue, err := s.recoverJournal()
+	if err != nil {
+		return nil, err
+	}
+	jr, _, _, err := journal.Open(s.JournalPath())
+	if err != nil {
+		return nil, err
+	}
+	if s.chaos.Enabled() {
+		jr.Hook = s.chaos.JournalHook
+	}
+	s.journal = jr
+	// Recovered jobs ride ahead of the regular queue capacity so a full
+	// crash-time queue re-enqueues without tripping admission control.
+	s.queue = make(chan *job, cfg.QueueDepth+len(reenqueue))
+	for _, j := range reenqueue {
+		s.queue <- j
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -107,30 +167,68 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
-// Submit validates and enqueues a job. The error is ErrDraining, ErrQueueFull,
-// or a validation error (the HTTP layer maps these to 503, 429, and 400).
+// Submit validates a job, consults the idempotent result cache, and — on a
+// miss — journals and enqueues a fresh run. The error is ErrDraining,
+// ErrCrashed, ErrQueueFull, ErrJournal, or a validation error (the HTTP
+// layer maps these to 503, 503, 429, 500, and 400).
+//
+// Cache semantics: a non-Force submission whose spec digest maps to a done
+// job returns that job's status immediately (no execution); one that maps to
+// a queued or running job coalesces onto the in-flight execution and returns
+// its status. Failed and canceled jobs never satisfy the cache — resubmitting
+// is the retry path.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	spec, err := spec.normalized()
 	if err != nil {
 		return JobStatus{}, err
 	}
+	digest := spec.digest()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.crashed {
+		s.met.drainRejected.Add(1)
+		return JobStatus{}, ErrCrashed
+	}
 	if s.draining {
 		s.met.drainRejected.Add(1)
 		return JobStatus{}, ErrDraining
 	}
-	s.seq++
-	j := newJob(fmt.Sprintf("j%06d", s.seq), spec, time.Now())
-	select {
-	case s.queue <- j:
-	default:
-		s.seq-- // the id was never issued
+	if !spec.Force {
+		if prev, ok := s.jobs[s.byDigest[digest]]; ok {
+			st := prev.status()
+			switch {
+			case st.State == StateDone:
+				s.met.cacheHits.Add(1)
+				return st, nil
+			case !st.State.Terminal():
+				s.met.coalesced.Add(1)
+				return st, nil
+			}
+			// failed or canceled: fall through to a fresh run
+		}
+	}
+	// Capacity check before the durable append: under s.mu, Submit is the
+	// only sender, so len(queue) is exact and the send below cannot block.
+	// (Journaling first and rolling back on a full queue would leave an
+	// orphaned submitted record that recovery would wrongly re-enqueue.)
+	if len(s.queue) == cap(s.queue) {
 		s.met.queueRejected.Add(1)
 		return JobStatus{}, ErrQueueFull
 	}
+	s.seq++
+	j := newJob(fmt.Sprintf("j%06d", s.seq), spec, digest, time.Now())
+	// Write-ahead: the job becomes durable before it becomes visible, so a
+	// crash after Submit returns can never lose it.
+	if err := s.appendWAL(walRecord{
+		Type: "submitted", ID: j.id, Time: j.submitted, Spec: &j.spec, Digest: digest,
+	}); err != nil {
+		s.seq-- // the id was never issued
+		return JobStatus{}, fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	s.queue <- j
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.byDigest[digest] = j.id
 	s.met.submitted.Add(1)
 	return j.status(), nil
 }
@@ -190,7 +288,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		if !s.queueClosed {
+			s.queueClosed = true
+			close(s.queue)
+		}
 	}
 	s.mu.Unlock()
 
@@ -199,28 +300,86 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.workers.Wait()
 		close(idle)
 	}()
-	select {
-	case <-idle:
-		return nil
-	case <-ctx.Done():
-		s.mu.Lock()
-		for _, j := range s.jobs {
-			j.requestCancel()
+	err := func() error {
+		select {
+		case <-idle:
+			return nil
+		case <-ctx.Done():
+			s.mu.Lock()
+			for _, j := range s.jobs {
+				j.requestCancel()
+			}
+			s.mu.Unlock()
+			<-idle
+			return ctx.Err()
 		}
-		s.mu.Unlock()
-		<-idle
-		return ctx.Err()
+	}()
+	// Workers are idle; no appends can race the close. (After a chaos hard
+	// stop the journal is already dead and Close is a harmless no-op error.)
+	_ = s.journal.Close()
+	return err
+}
+
+// Crashed reports whether a chaos crash point hard-stopped the server.
+func (s *Server) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// hardStop simulates the daemon dying mid-flight without writing another
+// byte: the journal is killed (appends fail like a power cut), admission
+// stops, and workers wind down leaving their current jobs non-terminal —
+// exactly the state a real crash leaves on disk. The process itself survives
+// so tests can open a successor server on the same store directory; the real
+// daemon passes Config.OnCrash to exit the process here.
+func (s *Server) hardStop() {
+	s.journal.Kill()
+	s.mu.Lock()
+	first := !s.crashed
+	s.crashed = true
+	if !s.queueClosed {
+		s.queueClosed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	if first && s.cfg.OnCrash != nil {
+		s.cfg.OnCrash()
 	}
 }
 
-// worker drains the queue until Drain closes it.
+// worker drains the queue until Drain closes it (or a chaos hard stop kills
+// the server — a crashed daemon executes nothing more, so remaining queued
+// jobs stay non-terminal for the successor's recovery to pick up).
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
+		if s.Crashed() {
+			continue
+		}
 		s.met.busyWorkers.Add(1)
-		s.run(j)
+		s.safeRun(j)
 		s.met.busyWorkers.Add(-1)
 	}
+}
+
+// safeRun is the worker pool's containment boundary: a panic escaping a job
+// — injected by the chaos harness, or a bug in the run path outside the
+// experiment's own recover — fails that job and frees the worker instead of
+// killing the daemon.
+func (s *Server) safeRun(j *job) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.met.panicked.Add(1)
+			now := time.Now()
+			msg := fmt.Sprintf("worker panicked: %v", rec)
+			if j.finish(StateFailed, msg, nil, nil, now) {
+				s.met.finished(StateFailed, now.Sub(j.submitted))
+				s.appendWAL(walRecord{Type: "finished", ID: j.id, Time: now, State: StateFailed, Error: msg})
+			}
+		}
+	}()
+	s.run(j)
 }
 
 // run executes one job end to end: working directory, telemetry sinks, the
@@ -242,11 +401,30 @@ func (s *Server) run(j *job) {
 	defer cancel()
 	start := time.Now()
 	j.start(cancel, start)
+	s.appendWAL(walRecord{Type: "started", ID: j.id, Time: start})
+	if s.chaos.CrashNow(chaos.CrashStart) {
+		s.hardStop()
+		return
+	}
+	if s.chaos.WorkerPanic() {
+		// Escapes to safeRun's recover: the worker-pool containment path is
+		// the one being exercised, not the experiment-level recover below.
+		panic(fmt.Errorf("%w: worker panic", chaos.ErrInjected))
+	}
 
 	finish := func(state State, errMsg string, res *experiments.Result, arts []ArtifactInfo) {
 		now := time.Now()
+		if !j.finish(state, errMsg, res, arts, now) {
+			return
+		}
 		s.met.finished(state, now.Sub(start))
-		j.finish(state, errMsg, res, arts, now)
+		// The commit record. A crash between the in-memory finish and this
+		// append loses only durability, not correctness: recovery re-runs the
+		// job and its artifacts dedupe onto the already-committed objects.
+		s.appendWAL(walRecord{
+			Type: "finished", ID: j.id, Time: now,
+			State: state, Error: errMsg, Artifacts: arts, Result: res,
+		})
 	}
 
 	work, err := os.MkdirTemp("", "dtlserved-"+j.id+"-")
@@ -298,6 +476,7 @@ func (s *Server) run(j *job) {
 		// must turn that into a failed job, not a dead worker.
 		defer func() {
 			if rec := recover(); rec != nil {
+				s.met.panicked.Add(1)
 				runErr = fmt.Errorf("experiment panicked: %v", rec)
 			}
 		}()
@@ -317,9 +496,20 @@ func (s *Server) run(j *job) {
 		finish(StateCanceled, msg, nil, nil)
 	default:
 		res := results[0]
+		if s.chaos.CrashNow(chaos.CrashArtifact) {
+			s.hardStop()
+			return
+		}
 		arts, err := s.ingestArtifacts(j, work, report.Bytes(), res)
 		if err != nil {
 			finish(StateFailed, err.Error(), &res, nil)
+			return
+		}
+		if s.chaos.CrashNow(chaos.CrashCommit) {
+			// Artifacts are committed but the finished record is not: the
+			// dangerous window. Recovery re-runs the job; byte-determinism
+			// makes the re-run dedupe onto these exact objects.
+			s.hardStop()
 			return
 		}
 		s.met.addLedger(ledgerPath)

@@ -133,12 +133,14 @@ func TestQueueBackpressure(t *testing.T) {
 	_, c := newServer(t, serve.Config{Workers: 0, QueueDepth: 2, RetryAfter: 7 * time.Second})
 	ctx := ctxT(t)
 
+	// Distinct seeds: identical specs would coalesce onto the first job
+	// instead of occupying queue slots.
 	for i := 0; i < 2; i++ {
-		if _, err := c.Submit(ctx, serve.JobSpec{Experiment: "fig12", Quick: true}); err != nil {
+		if _, err := c.Submit(ctx, serve.JobSpec{Experiment: "fig12", Quick: true, Seed: int64(i + 1)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	_, err := c.Submit(ctx, serve.JobSpec{Experiment: "fig12", Quick: true})
+	_, err := c.Submit(ctx, serve.JobSpec{Experiment: "fig12", Quick: true, Seed: 3})
 	var apiErr *client.APIError
 	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("full-queue submit: %v, want 429", err)
@@ -203,7 +205,9 @@ func TestDeterminismAndServerDiff(t *testing.T) {
 	srv, c := newServer(t, serve.Config{Workers: 2})
 	ctx := ctxT(t)
 
-	spec := serve.JobSpec{Experiment: "fig12", Quick: true}
+	// Force: the determinism gate wants two real executions of the same
+	// spec, not one execution answered twice by the result cache.
+	spec := serve.JobSpec{Experiment: "fig12", Quick: true, Force: true}
 	a, err := c.Submit(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -211,6 +215,9 @@ func TestDeterminismAndServerDiff(t *testing.T) {
 	b, err := c.Submit(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Fatalf("force submissions coalesced onto %s", a.ID)
 	}
 	fa, err := c.Wait(ctx, a.ID)
 	if err != nil {

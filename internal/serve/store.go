@@ -8,6 +8,9 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+
+	"dtl/internal/serve/chaos"
+	"dtl/internal/serve/journal"
 )
 
 // Store is a content-addressed artifact store: every object lives at
@@ -15,21 +18,55 @@ import (
 // artifacts from different jobs share one object, so "the same job submitted
 // twice returned the same digests" is both the determinism check and the
 // deduplication mechanism.
+//
+// Object commits are crash-atomic: bytes spool to tmp/, the temp file is
+// fsynced, renamed into objects/<xx>/, and the bucket directory is fsynced —
+// an object either exists completely or not at all. A crash can only leave
+// an orphaned temp file, which OpenStore sweeps on the next start; it can
+// never leave a half-written object at an addressable path.
 type Store struct {
 	dir string
+	// chaos, when non-nil, injects write errors into Put paths.
+	chaos *chaos.Harness
 }
 
 var digestRE = regexp.MustCompile(`^[0-9a-f]{64}$`)
 
-// OpenStore creates (if needed) and opens a store rooted at dir.
+// OpenStore creates (if needed) and opens a store rooted at dir, sweeping
+// temp files orphaned by a previous crash.
 func OpenStore(dir string) (*Store, error) {
 	for _, sub := range []string{"objects", "tmp"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("serve: opening store: %w", err)
 		}
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	if err := s.sweepTmp(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
+
+// sweepTmp deletes every file under tmp/: anything there was part of a Put
+// that never committed (the owning process renames before returning), so
+// after a crash it is garbage by construction.
+func (s *Store) sweepTmp() error {
+	tmpDir := filepath.Join(s.dir, "tmp")
+	entries, err := os.ReadDir(tmpDir)
+	if err != nil {
+		return fmt.Errorf("serve: sweeping store tmp: %w", err)
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(tmpDir, e.Name())); err != nil {
+			return fmt.Errorf("serve: sweeping store tmp: %w", err)
+		}
+	}
+	return nil
+}
+
+// SetChaos attaches a fault harness to the store's write paths (nil
+// detaches). Called once at server construction, before concurrent use.
+func (s *Store) SetChaos(h *chaos.Harness) { s.chaos = h }
 
 // Dir reports the store root.
 func (s *Store) Dir() string { return s.dir }
@@ -38,11 +75,31 @@ func (s *Store) objectPath(digest string) string {
 	return filepath.Join(s.dir, "objects", digest[:2], digest)
 }
 
+// commit moves a fully-written, closed temp file into place as the object
+// for digest: fsync already happened on the temp file; after the rename the
+// bucket directory is fsynced so the link survives a crash.
+func (s *Store) commit(tmpName, digest string) error {
+	dst := s.objectPath(digest)
+	if _, err := os.Stat(dst); err == nil {
+		return nil // already stored; dedupe
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		return err
+	}
+	return journal.SyncDir(filepath.Dir(dst))
+}
+
 // Put writes r into the store and returns its digest and size. The object is
-// hashed while spooling to a temp file, then renamed into place; a
+// hashed while spooling to a temp file, fsynced, then renamed into place; a
 // concurrent Put of the same content is harmless (same target path, same
 // bytes).
 func (s *Store) Put(r io.Reader) (digest string, size int64, err error) {
+	if err := s.chaos.StoreWriteErr(); err != nil {
+		return "", 0, err
+	}
 	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "put-*")
 	if err != nil {
 		return "", 0, err
@@ -51,6 +108,9 @@ func (s *Store) Put(r io.Reader) (digest string, size int64, err error) {
 
 	h := sha256.New()
 	size, err = io.Copy(io.MultiWriter(tmp, h), r)
+	if err == nil {
+		err = tmp.Sync()
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
@@ -58,14 +118,7 @@ func (s *Store) Put(r io.Reader) (digest string, size int64, err error) {
 		return "", 0, err
 	}
 	digest = hex.EncodeToString(h.Sum(nil))
-	dst := s.objectPath(digest)
-	if _, err := os.Stat(dst); err == nil {
-		return digest, size, nil // already stored; dedupe
-	}
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-		return "", 0, err
-	}
-	if err := os.Rename(tmp.Name(), dst); err != nil {
+	if err := s.commit(tmp.Name(), digest); err != nil {
 		return "", 0, err
 	}
 	return digest, size, nil
@@ -83,10 +136,12 @@ func (s *Store) PutFile(path string) (string, int64, error) {
 
 // PutBytes stores an in-memory artifact.
 func (s *Store) PutBytes(b []byte) (string, int64, error) {
+	if err := s.chaos.StoreWriteErr(); err != nil {
+		return "", 0, err
+	}
 	d := sha256.Sum256(b)
 	digest := hex.EncodeToString(d[:])
-	dst := s.objectPath(digest)
-	if _, err := os.Stat(dst); err == nil {
+	if _, err := os.Stat(s.objectPath(digest)); err == nil {
 		return digest, int64(len(b)), nil
 	}
 	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "put-*")
@@ -94,20 +149,30 @@ func (s *Store) PutBytes(b []byte) (string, int64, error) {
 		return "", 0, err
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
+	_, err = tmp.Write(b)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		return "", 0, err
 	}
-	if err := tmp.Close(); err != nil {
-		return "", 0, err
-	}
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-		return "", 0, err
-	}
-	if err := os.Rename(tmp.Name(), dst); err != nil {
+	if err := s.commit(tmp.Name(), digest); err != nil {
 		return "", 0, err
 	}
 	return digest, int64(len(b)), nil
+}
+
+// Has reports whether the object with the given digest is present and
+// addressable. Recovery uses it to detect artifacts poisoned by a crash.
+func (s *Store) Has(digest string) bool {
+	if !digestRE.MatchString(digest) {
+		return false
+	}
+	_, err := os.Stat(s.objectPath(digest))
+	return err == nil
 }
 
 // Open returns a reader over the object with the given digest.

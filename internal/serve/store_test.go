@@ -2,11 +2,14 @@ package serve
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dtl/internal/serve/chaos"
 )
 
 func TestStoreRoundtripAndDedupe(t *testing.T) {
@@ -54,6 +57,79 @@ func TestStoreRoundtripAndDedupe(t *testing.T) {
 	})
 	if objects != 1 {
 		t.Fatalf("objects on disk = %d, want 1 (dedupe)", objects)
+	}
+}
+
+func TestStoreSweepsOrphanedTmpOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := st.PutBytes([]byte("survivor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-Put leaves a spooled temp file behind; fake one.
+	orphan := filepath.Join(dir, "tmp", "put-orphaned")
+	if err := os.WriteFile(orphan, []byte("half-written artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned tmp file survived reopen: %v", err)
+	}
+	// Committed objects are untouched by the sweep.
+	if !st2.Has(d) {
+		t.Fatal("sweep removed a committed object")
+	}
+}
+
+func TestStoreHas(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := st.PutBytes([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Has(d) {
+		t.Fatal("Has(stored) = false")
+	}
+	if st.Has(strings.Repeat("b", 64)) {
+		t.Fatal("Has(absent) = true")
+	}
+	if st.Has("not a digest") {
+		t.Fatal("Has(malformed) = true")
+	}
+}
+
+func TestStoreChaosWriteErrors(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetChaos(chaos.MustParse("storewrite=1"))
+	if _, _, err := st.PutBytes([]byte("x")); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("PutBytes under storewrite=1: %v", err)
+	}
+	if _, _, err := st.Put(bytes.NewReader([]byte("x"))); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("Put under storewrite=1: %v", err)
+	}
+	// No partial state: tmp/ and objects/ stay empty.
+	entries, _ := os.ReadDir(filepath.Join(st.Dir(), "tmp"))
+	if len(entries) != 0 {
+		t.Fatalf("injected failure left %d tmp files", len(entries))
+	}
+	st.SetChaos(nil)
+	if _, _, err := st.PutBytes([]byte("x")); err != nil {
+		t.Fatalf("detached chaos still failing: %v", err)
 	}
 }
 
