@@ -35,9 +35,29 @@ import (
 	"syscall"
 	"time"
 
+	"dtl/internal/cliflag"
 	"dtl/internal/serve"
 	"dtl/internal/serve/chaos"
 )
+
+// boundedWorkers validates a -parallel/-shards value, rejecting negatives
+// and explicit zeros and capping at GOMAXPROCS with a warning.
+func boundedWorkers(name string, v int) int {
+	explicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			explicit = true
+		}
+	})
+	n, warn, err := cliflag.BoundedWorkers(name, v, explicit)
+	if err != nil {
+		log.Fatalf("dtlserved: %v", err)
+	}
+	if warn != "" {
+		log.Printf("dtlserved: %s", warn)
+	}
+	return n
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
@@ -47,12 +67,16 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "default per-job run bound (0 = none; a job spec may override)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "graceful-shutdown bound before in-flight jobs are canceled")
 	chaosSpec := flag.String("chaos", "", `fault-injection spec, e.g. "seed=1;panic=0.1;crash-commit=0.05" (default: disabled)`)
+	parallel := flag.Int("parallel", 1, "default sweep fan-out for jobs that leave 'parallel' unset")
+	shards := flag.Int("shards", 1, "default replay shard count for jobs that leave 'shards' unset (artifacts identical at every count)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "dtlserved: unexpected argument %q\n", flag.Arg(0))
 		flag.Usage()
 		os.Exit(2)
 	}
+	*parallel = boundedWorkers("parallel", *parallel)
+	*shards = boundedWorkers("shards", *shards)
 
 	harness, err := chaos.Parse(*chaosSpec)
 	if err != nil {
@@ -60,11 +84,13 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		StoreDir:   *store,
-		JobTimeout: *jobTimeout,
-		Chaos:      harness,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		StoreDir:        *store,
+		JobTimeout:      *jobTimeout,
+		Chaos:           harness,
+		DefaultParallel: *parallel,
+		DefaultShards:   *shards,
 		// A chaos crash point behaves like a power cut: the process dies on
 		// the spot with the classic SIGKILL-style status, and recovery is the
 		// next boot's problem.

@@ -38,8 +38,13 @@
 // -parallel N runs the selected experiments across N workers; reports print
 // in the same order and with the same bytes as a serial run (when several
 // experiments run in parallel the shared -trace/-metrics files are disabled,
-// since they would interleave). -cpuprofile/-memprofile write pprof profiles
-// of the run for `go tool pprof`.
+// since they would interleave). -shards N additionally parallelizes *inside*
+// an experiment: controller replays split by channel across N per-shard
+// event heaps (sim.ShardedEngine) that meet at sampling barriers, with
+// output byte-identical to a serial run at every shard count. Both flags
+// reject negative or explicit-zero values and are capped at GOMAXPROCS.
+// -cpuprofile/-memprofile write pprof profiles of the run for
+// `go tool pprof`.
 package main
 
 import (
@@ -53,11 +58,32 @@ import (
 	"strings"
 	"time"
 
+	"dtl/internal/cliflag"
 	"dtl/internal/experiments"
 	"dtl/internal/fault"
 	"dtl/internal/sim"
 	"dtl/internal/telemetry"
 )
+
+// boundedWorkers validates a -parallel/-shards value, rejecting negatives
+// and explicit zeros (exit 2) and capping at GOMAXPROCS with a warning.
+func boundedWorkers(name string, v int) int {
+	explicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			explicit = true
+		}
+	})
+	n, warn, err := cliflag.BoundedWorkers(name, v, explicit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtlsim:", err)
+		os.Exit(2)
+	}
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, "dtlsim:", warn)
+	}
+	return n
+}
 
 func main() {
 	var (
@@ -77,10 +103,14 @@ func main() {
 		watch    = flag.Bool("watch", false, "live dashboard on stderr (power-state strip, counters, ETA)")
 
 		parallel   = flag.Int("parallel", 1, "run experiments across N workers (reports stay in serial order)")
+		shards     = flag.Int("shards", 1, "shard controller replays by channel across N event heaps (output stays byte-identical)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit")
 	)
 	flag.Parse()
+
+	*parallel = boundedWorkers("parallel", *parallel)
+	*shards = boundedWorkers("shards", *shards)
 
 	samplePeriod, err := time.ParseDuration(*sample)
 	if err != nil || samplePeriod < 0 {
@@ -125,6 +155,7 @@ func main() {
 		SamplePeriod: sim.Time(samplePeriod.Nanoseconds()),
 		FaultSpec:    *faults,
 		Parallel:     *parallel,
+		Shards:       *shards,
 		Policy:       pol,
 	}
 

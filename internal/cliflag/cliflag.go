@@ -1,0 +1,36 @@
+// Package cliflag validates worker-count knobs (-parallel, -shards) shared
+// by the dtl front ends. The commands differ in how they report problems
+// (dtlsim prints to stderr and exits 2, dtlserved logs), so validation
+// returns the verdict and lets the caller render it, mirroring the repo's
+// "unknown policy keys fail loudly" convention instead of silently
+// misbehaving on nonsense values.
+package cliflag
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// BoundedWorkers validates a worker/shard count v for the flag -name.
+// explicit reports whether the user set the flag on the command line (see
+// flag.Visit): an explicit zero is rejected — it always indicates a typo'd
+// invocation, never a meaningful request — while an unset zero falls back
+// to 1 (serial). Negative counts are rejected outright. Counts above
+// GOMAXPROCS are capped to it with a warning: extra workers beyond the
+// scheduler's parallelism only add contention, and output is byte-identical
+// at every count, so capping is always safe.
+func BoundedWorkers(name string, v int, explicit bool) (n int, warning string, err error) {
+	if v < 0 {
+		return 0, "", fmt.Errorf("-%s %d: want a positive worker count", name, v)
+	}
+	if v == 0 {
+		if explicit {
+			return 0, "", fmt.Errorf("-%s 0: want a positive worker count (omit the flag to run serially)", name)
+		}
+		return 1, "", nil
+	}
+	if max := runtime.GOMAXPROCS(0); v > max {
+		return max, fmt.Sprintf("-%s %d exceeds GOMAXPROCS=%d; capping at %d (results are identical at every count)", name, v, max, max), nil
+	}
+	return v, "", nil
+}

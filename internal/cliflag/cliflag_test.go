@@ -1,0 +1,47 @@
+package cliflag
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestBoundedWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name     string
+		v        int
+		explicit bool
+		want     int
+		wantWarn bool
+		wantErr  bool
+	}{
+		{"negative", -1, true, 0, false, true},
+		{"negative implicit", -3, false, 0, false, true},
+		{"explicit zero", 0, true, 0, false, true},
+		{"implicit zero defaults to serial", 0, false, 1, false, false},
+		{"one", 1, true, 1, false, false},
+		{"at cap", max, true, max, false, false},
+		{"above cap", max + 5, true, max, true, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n, warn, err := BoundedWorkers("parallel", c.v, c.explicit)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("BoundedWorkers(%d, %v) err = %v, want err %v", c.v, c.explicit, err, c.wantErr)
+			}
+			if err != nil {
+				if !strings.Contains(err.Error(), "-parallel") {
+					t.Fatalf("error %q does not name the flag", err)
+				}
+				return
+			}
+			if n != c.want {
+				t.Fatalf("BoundedWorkers(%d, %v) = %d, want %d", c.v, c.explicit, n, c.want)
+			}
+			if (warn != "") != c.wantWarn {
+				t.Fatalf("BoundedWorkers(%d, %v) warning = %q, want warning %v", c.v, c.explicit, warn, c.wantWarn)
+			}
+		})
+	}
+}

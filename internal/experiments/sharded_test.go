@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dtl/internal/telemetry"
+)
+
+// shardArtifacts names the per-run output files a cross-check run produces.
+type shardArtifacts struct {
+	metrics string
+	trace   string
+	ledger  string
+}
+
+func shardArtifactPaths(t *testing.T, dir string) shardArtifacts {
+	t.Helper()
+	return shardArtifacts{
+		metrics: filepath.Join(dir, "metrics.csv"),
+		trace:   filepath.Join(dir, "trace.jsonl"),
+		ledger:  filepath.Join(dir, "ledger.json"),
+	}
+}
+
+// runShardCheck runs one experiment with the given shard count, writing all
+// three artifact sinks into dir, and returns the Result and report bytes.
+func runShardCheck(t *testing.T, id string, shards int, faultSpec string, a shardArtifacts) ([]Result, []byte) {
+	t.Helper()
+	var out bytes.Buffer
+	res := RunAll(runnersByID(t, id), Options{
+		Quick:       true,
+		Seed:        1,
+		Out:         &out,
+		Shards:      shards,
+		MetricsPath: a.metrics,
+		TracePath:   a.trace,
+		TraceFormat: telemetry.FormatJSONL,
+		LedgerPath:  a.ledger,
+		FaultSpec:   faultSpec,
+	}, 1)
+	return res, out.Bytes()
+}
+
+// TestShardedMatchesSerial is the byte-identity contract of Options.Shards:
+// for every shard count, results, report bytes, and every artifact file
+// (metrics CSV, jsonl trace, ledger JSON) match the serial run exactly.
+//
+// The matrix deliberately mixes both execution paths: fig2/fig5 replay on
+// the sharded engine (and fig12 shards its perf-overhead replay), while
+// fig9/faults exercise the documented serial-oracle fallback for DTL-driven
+// runs. fig12 and faults run with an ECC storm plus a mid-run rank kill, so
+// the comparison covers active migrations and health-monitor retirement
+// crossing rank (and shard) boundaries. CI runs this under -race, which
+// also checks the shard workers share no state outside the barriers.
+func TestShardedMatchesSerial(t *testing.T) {
+	// Storm on ch1/rk2 then a dead rank at ch0/rk0: both force the health
+	// monitor to retire ranks and migrate their segments mid-schedule.
+	const faultSpec = "seed=7;storm:ch1/rk2:at=90m,rate=2000,dur=60s;kill:ch0/rk0:at=3h"
+
+	for _, id := range []string{"fig2", "fig5", "fig9", "fig12", "faults"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			spec := ""
+			if id == "fig12" || id == "faults" {
+				spec = faultSpec
+			}
+			baseDir := t.TempDir()
+			baseArt := shardArtifactPaths(t, baseDir)
+			baseRes, baseOut := runShardCheck(t, id, 0, spec, baseArt)
+
+			for _, shards := range []int{1, 2, 4, 7} {
+				dir := t.TempDir()
+				art := shardArtifactPaths(t, dir)
+				res, out := runShardCheck(t, id, shards, spec, art)
+
+				if !reflect.DeepEqual(baseRes, res) {
+					t.Fatalf("shards=%d: results differ from serial:\nserial: %+v\nsharded: %+v",
+						shards, baseRes, res)
+				}
+				if !bytes.Equal(baseOut, out) {
+					t.Fatalf("shards=%d: report differs from serial run", shards)
+				}
+				compareArtifact(t, shards, "metrics", baseArt.metrics, art.metrics)
+				compareArtifact(t, shards, "trace", baseArt.trace, art.trace)
+				compareArtifact(t, shards, "ledger", baseArt.ledger, art.ledger)
+			}
+		})
+	}
+}
+
+// compareArtifact requires base and got to agree byte for byte, including
+// agreeing on whether the experiment produced the file at all (fig2/fig5
+// honor only MetricsPath; the DTL-driven runs produce all three).
+func compareArtifact(t *testing.T, shards int, name, base, got string) {
+	t.Helper()
+	bb, berr := os.ReadFile(base)
+	gb, gerr := os.ReadFile(got)
+	if os.IsNotExist(berr) && os.IsNotExist(gerr) {
+		return
+	}
+	if berr != nil || gerr != nil {
+		t.Fatalf("shards=%d: %s artifact existence mismatch: serial err=%v sharded err=%v",
+			shards, name, berr, gerr)
+	}
+	if !bytes.Equal(bb, gb) {
+		t.Fatalf("shards=%d: %s artifact differs from serial run (%d vs %d bytes)",
+			shards, name, len(bb), len(gb))
+	}
+}

@@ -159,6 +159,16 @@ func (rt *runTelemetry) tick(now sim.Time) {
 	rt.eng.RunUntil(now)
 }
 
+// next reports the sampling clock's next due time; ok is false when rt is
+// nil or nothing is scheduled. The replay loops use it as the round boundary:
+// quiesce every channel strictly before next(), then tick the sample.
+func (rt *runTelemetry) next() (at sim.Time, ok bool) {
+	if rt == nil {
+		return 0, false
+	}
+	return rt.eng.NextEventAt()
+}
+
 // finish closes the trace at horizon, detaches it from the device, writes the
 // requested output files, and publishes the final watch snapshot.
 func (rt *runTelemetry) finish(horizon sim.Time) error {

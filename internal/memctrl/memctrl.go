@@ -57,6 +57,16 @@ type RankStats struct {
 }
 
 // Controller services requests for all channels of one device.
+//
+// Hot state is laid out struct-of-arrays and indexed only by the request's
+// channel and the ranks belonging to it, so requests on disjoint channels
+// touch disjoint memory. The sharded replay path (experiments.Options.Shards,
+// sim.ShardedEngine) relies on that: each shard services one channel's
+// request stream from its own goroutine. That is safe provided (a) each
+// channel's stream keeps the nondecreasing arrival order documented above,
+// and (b) no cross-channel aggregate (TotalBytes, WindowStats, registry
+// gauges, ...) is read concurrently with Access — the sharded engine's
+// barrier provides exactly that quiescence.
 type Controller struct {
 	dev   *dram.Device
 	codec *dram.AddressCodec
@@ -68,15 +78,21 @@ type Controller struct {
 	bankFree  [][]sim.Time
 	openRow   [][]int64
 
-	window   []RankStats // per global rank, since last ResetWindow
-	lifetime []RankStats // per global rank, total
-	busyNs   []sim.Time  // per channel: accumulated bus occupancy
-	// wakeCount, refreshStalls and degradedCount are telemetry counters
-	// owned by the controller; RegisterMetrics attaches them (and derived
-	// gauges) to a registry so they appear in sampled time series.
-	wakeCount     telemetry.Counter
-	refreshStalls telemetry.Counter
-	degradedCount telemetry.Counter
+	// Per-global-rank profiling counters, struct-of-arrays: DTL's hotness
+	// profiler sweeps every rank's window count each profiling window, and
+	// a dense []int64 walk touches half the cache lines the old
+	// []RankStats layout did. Bytes are derived (accesses × LineBytes), so
+	// only the access counts are kept hot.
+	winAccesses  []int64    // per global rank, since last ResetWindow
+	lifeAccesses []int64    // per global rank, total
+	busyNs       []sim.Time // per channel: accumulated bus occupancy
+	// Telemetry counters, kept per channel (struct-of-arrays, indexed by
+	// the request's channel) so Access never writes cross-channel state;
+	// the exported accessors and RegisterMetrics gauges sum them at read
+	// time, which the sharded replay only does at barriers.
+	wakeups  []int64
+	stalls   []int64
+	degraded []int64
 
 	// refreshEnabled blocks each standby rank for TRFC every TREFI, with
 	// per-rank phase staggering (all-bank refresh). Self-refresh and MPSM
@@ -89,15 +105,18 @@ func New(dev *dram.Device) *Controller {
 	g := dev.Geometry()
 	nRanks := g.TotalRanks()
 	c := &Controller{
-		dev:       dev,
-		codec:     dev.Codec(),
-		tim:       dev.Timing(),
-		busFree:   make([]sim.Time, g.Channels),
-		lastRank:  make([]int, g.Channels),
-		lastWrite: make([]bool, g.Channels),
-		window:    make([]RankStats, nRanks),
-		lifetime:  make([]RankStats, nRanks),
-		busyNs:    make([]sim.Time, g.Channels),
+		dev:          dev,
+		codec:        dev.Codec(),
+		tim:          dev.Timing(),
+		busFree:      make([]sim.Time, g.Channels),
+		lastRank:     make([]int, g.Channels),
+		lastWrite:    make([]bool, g.Channels),
+		winAccesses:  make([]int64, nRanks),
+		lifeAccesses: make([]int64, nRanks),
+		busyNs:       make([]sim.Time, g.Channels),
+		wakeups:      make([]int64, g.Channels),
+		stalls:       make([]int64, g.Channels),
+		degraded:     make([]int64, g.Channels),
 	}
 	for ch := range c.lastRank {
 		c.lastRank[ch] = -1
@@ -132,7 +151,7 @@ func (c *Controller) Access(req Request) Result {
 	case dram.SelfRefresh:
 		ready := c.dev.SetState(id, dram.Standby, req.Arrive)
 		wake = ready - req.Arrive
-		c.wakeCount.Inc()
+		c.wakeups[ch]++
 	}
 
 	rankReady := c.dev.ReadyAt(id)
@@ -146,7 +165,7 @@ func (c *Controller) Access(req Request) Result {
 	row := c.codec.RowOf(req.Addr)
 	start := maxT(busSlot, rankReady, c.bankFree[gr][bank])
 	if c.refreshEnabled {
-		start = c.afterRefresh(gr, start)
+		start = c.afterRefresh(ch, gr, start)
 	}
 
 	if c.lastRank[ch] >= 0 && c.lastRank[ch] != rk {
@@ -175,7 +194,7 @@ func (c *Controller) Access(req Request) Result {
 	if c.dev.FailedGlobal(gr) {
 		degraded = c.tim.DegradedAccess
 		accessLat += degraded
-		c.degradedCount.Inc()
+		c.degraded[ch]++
 	}
 
 	done := start + accessLat + c.tim.TBL
@@ -206,10 +225,8 @@ func (c *Controller) Access(req Request) Result {
 	}
 	c.bankFree[gr][bank] = bankBusyUntil
 
-	c.window[gr].Accesses++
-	c.window[gr].Bytes += LineBytes
-	c.lifetime[gr].Accesses++
-	c.lifetime[gr].Bytes += LineBytes
+	c.winAccesses[gr]++
+	c.lifeAccesses[gr]++
 
 	return Result{Start: start, Done: done, RowHit: rowHit, WakeDelay: wake, Degraded: degraded}
 }
@@ -220,15 +237,17 @@ func (c *Controller) Access(req Request) Result {
 func (c *Controller) EnableRefresh() { c.refreshEnabled = true }
 
 // RefreshStalls reports how many requests were delayed by a refresh window.
-func (c *Controller) RefreshStalls() int64 { return c.refreshStalls.Value() }
+func (c *Controller) RefreshStalls() int64 { return sumI64(c.stalls) }
 
 // RegisterMetrics attaches the controller's counters and per-channel bus
 // gauges to a telemetry registry under the "memctrl" prefix, so sampled time
-// series include queue/bus behavior ("memctrl.ch0.busy_ns", ...).
+// series include queue/bus behavior ("memctrl.ch0.busy_ns", ...). The
+// counters are per-channel internally and summed at read time; the sharded
+// replay samples only at barriers, with every shard quiesced.
 func (c *Controller) RegisterMetrics(reg *telemetry.Registry) {
-	reg.RegisterCounter("memctrl.wakeups", &c.wakeCount)
-	reg.RegisterCounter("memctrl.refresh_stalls", &c.refreshStalls)
-	reg.RegisterCounter("memctrl.degraded_accesses", &c.degradedCount)
+	reg.GaugeFunc("memctrl.wakeups", func() float64 { return float64(c.Wakeups()) })
+	reg.GaugeFunc("memctrl.refresh_stalls", func() float64 { return float64(c.RefreshStalls()) })
+	reg.GaugeFunc("memctrl.degraded_accesses", func() float64 { return float64(c.DegradedAccesses()) })
 	for ch := range c.busFree {
 		ch := ch
 		reg.GaugeFunc(fmt.Sprintf("memctrl.ch%d.busy_ns", ch), func() float64 {
@@ -245,19 +264,20 @@ func (c *Controller) RegisterMetrics(reg *telemetry.Registry) {
 
 // afterRefresh pushes t past the rank's refresh window if it falls inside
 // one. Rank gr refreshes during [phase + k*TREFI, phase + k*TREFI + TRFC)
-// where phase staggers ranks evenly across the interval.
-func (c *Controller) afterRefresh(gr int, t sim.Time) sim.Time {
+// where phase staggers ranks evenly across the interval. ch is the rank's
+// channel, charged with the stall.
+func (c *Controller) afterRefresh(ch, gr int, t sim.Time) sim.Time {
 	trefi, trfc := c.tim.TREFI, c.tim.TRFC
 	if trefi <= 0 || trfc <= 0 {
 		return t
 	}
-	phase := trefi * sim.Time(gr) / sim.Time(len(c.window))
+	phase := trefi * sim.Time(gr) / sim.Time(len(c.winAccesses))
 	offset := (t - phase) % trefi
 	if offset < 0 {
 		offset += trefi
 	}
 	if offset < trfc {
-		c.refreshStalls.Inc()
+		c.stalls[ch]++
 		return t + (trfc - offset)
 	}
 	return t
@@ -266,45 +286,53 @@ func (c *Controller) afterRefresh(gr int, t sim.Time) sim.Time {
 // WindowStats returns the per-rank counters accumulated since the last
 // ResetWindow, indexed by global rank id.
 func (c *Controller) WindowStats() []RankStats {
-	out := make([]RankStats, len(c.window))
-	copy(out, c.window)
+	out := make([]RankStats, len(c.winAccesses))
+	for i, n := range c.winAccesses {
+		out[i] = RankStats{Accesses: n, Bytes: n * LineBytes}
+	}
 	return out
 }
 
 // WindowAccesses reports the access count of a single rank this window.
 func (c *Controller) WindowAccesses(id dram.RankID) int64 {
-	return c.window[c.codec.GlobalRank(id.Channel, id.Rank)].Accesses
+	return c.winAccesses[c.codec.GlobalRank(id.Channel, id.Rank)]
 }
 
 // ResetWindow clears the per-window counters (start of a profiling window).
 func (c *Controller) ResetWindow() {
-	for i := range c.window {
-		c.window[i] = RankStats{}
+	for i := range c.winAccesses {
+		c.winAccesses[i] = 0
 	}
 }
 
 // LifetimeStats returns total per-rank counters, indexed by global rank id.
 func (c *Controller) LifetimeStats() []RankStats {
-	out := make([]RankStats, len(c.lifetime))
-	copy(out, c.lifetime)
+	out := make([]RankStats, len(c.lifeAccesses))
+	for i, n := range c.lifeAccesses {
+		out[i] = RankStats{Accesses: n, Bytes: n * LineBytes}
+	}
 	return out
 }
 
 // TotalBytes reports all bytes transferred since construction.
 func (c *Controller) TotalBytes() int64 {
-	var n int64
-	for i := range c.lifetime {
-		n += c.lifetime[i].Bytes
-	}
-	return n
+	return sumI64(c.lifeAccesses) * LineBytes
 }
 
 // Wakeups reports how many accesses found their rank in self-refresh.
-func (c *Controller) Wakeups() int64 { return c.wakeCount.Value() }
+func (c *Controller) Wakeups() int64 { return sumI64(c.wakeups) }
 
 // DegradedAccesses reports how many accesses hit a failed rank and paid the
 // degraded-mode penalty.
-func (c *Controller) DegradedAccesses() int64 { return c.degradedCount.Value() }
+func (c *Controller) DegradedAccesses() int64 { return sumI64(c.degraded) }
+
+func sumI64(xs []int64) int64 {
+	var n int64
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
 
 // ChannelBusyUntil reports when the channel bus frees up; migration traffic
 // may issue at or after this time.

@@ -64,6 +64,20 @@ type Config struct {
 	// daemon exits the process here; tests leave it nil and start a
 	// successor server on the same StoreDir instead.
 	OnCrash func()
+	// DefaultParallel and DefaultShards apply when a job spec leaves the
+	// corresponding field 0 (the dtlserved -parallel/-shards flags). Both
+	// shape scheduling only — artifacts and spec digests are unaffected —
+	// so changing the server defaults never invalidates the result cache.
+	DefaultParallel int
+	DefaultShards   int
+}
+
+// defaultInt returns v, or def when v is 0 (the "unset" JSON value).
+func defaultInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
 }
 
 // Server owns the queue, the workers, the job registry, the store, and the
@@ -464,7 +478,8 @@ func (s *Server) run(j *job) {
 		LedgerPath:  ledgerPath,
 		FaultSpec:   j.spec.Faults,
 		Policy:      pol,
-		Parallel:    j.spec.Parallel,
+		Parallel:    defaultInt(j.spec.Parallel, s.cfg.DefaultParallel),
+		Shards:      defaultInt(j.spec.Shards, s.cfg.DefaultShards),
 		Watch:       watch,
 		Ctx:         ctx,
 	}

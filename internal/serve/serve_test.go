@@ -112,6 +112,8 @@ func TestRejectsUnknownExperimentAndPolicyKey(t *testing.T) {
 		{serve.JobSpec{Experiment: "fig12", Policy: "bogus=1"}, "unknown policy key"},
 		{serve.JobSpec{Experiment: "fig12", TraceFormat: "xml"}, "trace format"},
 		{serve.JobSpec{Experiment: "fig12", TimeoutSec: -1}, "timeout_sec"},
+		{serve.JobSpec{Experiment: "fig12", Parallel: -1}, "parallel"},
+		{serve.JobSpec{Experiment: "fig12", Shards: -2}, "shards"},
 	}
 	for _, tc := range cases {
 		_, err := c.Submit(ctx, tc.spec)
@@ -124,6 +126,60 @@ func TestRejectsUnknownExperimentAndPolicyKey(t *testing.T) {
 		}
 		if !strings.Contains(apiErr.Message, tc.frag) {
 			t.Errorf("Submit(%+v) message %q missing %q", tc.spec, apiErr.Message, tc.frag)
+		}
+	}
+}
+
+// TestShardsExcludedFromDigest pins the result-cache contract for sharding:
+// Shards shapes scheduling, not output, so a sharded resubmission of an
+// identical spec coalesces onto the cached job instead of re-running, and a
+// forced sharded execution produces artifacts with the same content digests
+// as the serial run.
+func TestShardsExcludedFromDigest(t *testing.T) {
+	_, c := newServer(t, serve.Config{Workers: 1})
+	ctx := ctxT(t)
+
+	a, err := c.Submit(ctx, serve.JobSpec{Experiment: "fig2", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := c.Wait(ctx, a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.State != serve.StateDone {
+		t.Fatalf("serial job state %s (%s)", fa.State, fa.Error)
+	}
+
+	// Same spec plus Shards: must coalesce onto the cached serial job.
+	b, err := c.Submit(ctx, serve.JobSpec{Experiment: "fig2", Quick: true, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != a.ID {
+		t.Fatalf("sharded resubmission got job %s, want cache hit on %s", b.ID, a.ID)
+	}
+
+	// Forced sharded execution: same artifact bytes, by content digest.
+	f, err := c.Submit(ctx, serve.JobSpec{Experiment: "fig2", Quick: true, Shards: 4, Force: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := c.Wait(ctx, f.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.State != serve.StateDone {
+		t.Fatalf("sharded job state %s (%s)", ff.State, ff.Error)
+	}
+	want := map[string]string{}
+	for _, art := range fa.Artifacts {
+		want[art.Name] = art.Digest
+	}
+	for _, art := range ff.Artifacts {
+		if want[art.Name] != art.Digest {
+			t.Errorf("artifact %s differs between serial and sharded runs: %s vs %s",
+				art.Name, want[art.Name], art.Digest)
 		}
 	}
 }

@@ -1,0 +1,216 @@
+// Sharded deterministic execution: several Engines — one per shard plus one
+// global — advance concurrently under a barrier protocol that makes the run
+// byte-identical to a serial Engine executing the same model.
+//
+// The decomposition mirrors ramulator-style per-channel memory controllers:
+// a shard owns a disjoint slice of the model (a channel or rank group) whose
+// events read and write only shard-local state, so shards may fire their
+// events concurrently without synchronizing per event. The only cross-shard
+// seams — migrations, snapshots, health retirement, end-of-run probes — live
+// on the global engine, and the barrier protocol serializes them:
+//
+//  1. The coordinator peeks the global engine's next event time B.
+//  2. Every shard drains its events strictly before B in parallel
+//     (Engine.drainBefore), then parks with its clock at B.
+//  3. The coordinator fires every global event scheduled at exactly B, in
+//     insertion order, on its own goroutine. Global events may read any
+//     shard's state and schedule onto any shard at ≥ B.
+//  4. Repeat until the global queue is exhausted, then drain the shards.
+//
+// Determinism is by construction, not by locking: each shard fires its own
+// events in the same (time, seq) order a serial engine would, the global
+// events interleave at exactly the same boundaries on a single goroutine,
+// and the tie-break is fixed — a global event at time B fires after all
+// shard events < B and before any shard event at B. The channel send that
+// starts a round and the WaitGroup that ends it give the happens-before
+// edges the memory model needs; no other synchronization exists, which is
+// also why a shard event must never touch another shard's state or the
+// global engine (see the method comments).
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// drainCmd is one barrier-round instruction for a shard worker.
+type drainCmd struct {
+	mode  uint8
+	limit Time
+}
+
+const (
+	cmdDrainBefore uint8 = iota // fire events < limit, clock → limit
+	cmdDrain                    // fire events ≤ limit, clock → limit
+	cmdRunAll                   // fire everything the shard has
+)
+
+// ShardedEngine coordinates per-shard event heaps and virtual clocks with a
+// global timeline for cross-shard events. Construct with NewSharded, schedule
+// shard-local work via Shard(i) and cross-shard work via Global(), then call
+// Run or RunUntil; Close releases the worker goroutines.
+//
+// Scheduling rules (violations are data races, caught under -race):
+//   - Before Run/RunUntil and from global events: any engine may be used.
+//   - From a shard's own events: only that shard's engine.
+//   - Shard events must not schedule onto other shards or the global engine;
+//     route cross-shard effects through a global event instead.
+type ShardedEngine struct {
+	global *Engine
+	shards []*Engine
+	cmds   []chan drainCmd // nil for a single shard (runs inline)
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewSharded builds a sharded engine with the given shard count (≥ 1) and
+// starts one worker goroutine per shard (none for a single shard, which runs
+// inline and is byte-for-byte the serial engine).
+func NewSharded(shards int) *ShardedEngine {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: NewSharded(%d): need at least one shard", shards))
+	}
+	s := &ShardedEngine{global: NewEngine(), shards: make([]*Engine, shards)}
+	for i := range s.shards {
+		s.shards[i] = NewEngine()
+	}
+	if shards > 1 {
+		s.cmds = make([]chan drainCmd, shards)
+		for i := range s.cmds {
+			s.cmds[i] = make(chan drainCmd)
+			go s.work(s.shards[i], s.cmds[i])
+		}
+	}
+	return s
+}
+
+func (s *ShardedEngine) work(e *Engine, cmds <-chan drainCmd) {
+	for c := range cmds {
+		runDrainCmd(e, c)
+		s.wg.Done()
+	}
+}
+
+func runDrainCmd(e *Engine, c drainCmd) {
+	switch c.mode {
+	case cmdDrainBefore:
+		e.drainBefore(c.limit)
+	case cmdDrain:
+		e.Drain(c.limit)
+	default:
+		e.Run()
+	}
+}
+
+// dispatch runs one command on every shard and waits for all of them: the
+// send is the happens-before edge into the round, the WaitGroup the edge out.
+// The steady state allocates nothing.
+func (s *ShardedEngine) dispatch(c drainCmd) {
+	if s.cmds == nil {
+		runDrainCmd(s.shards[0], c)
+		return
+	}
+	s.wg.Add(len(s.cmds))
+	for _, ch := range s.cmds {
+		ch <- c
+	}
+	s.wg.Wait()
+}
+
+// Shards reports the shard count.
+func (s *ShardedEngine) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's engine for scheduling shard-local events.
+func (s *ShardedEngine) Shard(i int) *Engine { return s.shards[i] }
+
+// Global returns the cross-shard timeline: events scheduled here fire on the
+// coordinator goroutine with every shard quiesced strictly before their time.
+func (s *ShardedEngine) Global() *Engine { return s.global }
+
+// Now reports the latest clock across the global engine and every shard
+// (they agree at barriers; between barriers shards run ahead independently).
+func (s *ShardedEngine) Now() Time {
+	t := s.global.Now()
+	for _, sh := range s.shards {
+		if n := sh.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// Pending reports scheduled-but-unfired events across all engines.
+func (s *ShardedEngine) Pending() int {
+	n := s.global.Pending()
+	for _, sh := range s.shards {
+		n += sh.Pending()
+	}
+	return n
+}
+
+// BarrierBefore runs every shard, in parallel, up to but excluding t, and
+// parks their clocks at t. External coordinators (e.g. the sharded replay's
+// metrics sampler) use it to quiesce the shards at a boundary of their own
+// before reading cross-shard state.
+func (s *ShardedEngine) BarrierBefore(t Time) {
+	s.dispatch(drainCmd{mode: cmdDrainBefore, limit: t})
+}
+
+// Drain runs every shard, in parallel, through deadline inclusive (the
+// parallel form of Engine.Drain), leaving all shard clocks at deadline.
+func (s *ShardedEngine) Drain(deadline Time) {
+	s.dispatch(drainCmd{mode: cmdDrain, limit: deadline})
+}
+
+// stepGlobalRound fires every global event scheduled at exactly the head
+// time b, in insertion order, before any shard event at b may fire.
+func (s *ShardedEngine) stepGlobalRound(b Time) {
+	for {
+		s.global.Step()
+		if nb, ok := s.global.NextEventAt(); !ok || nb != b {
+			return
+		}
+	}
+}
+
+// Run fires events until every queue drains: barrier rounds while global
+// events remain, then one fully parallel drain of the shards.
+func (s *ShardedEngine) Run() {
+	for {
+		b, ok := s.global.NextEventAt()
+		if !ok {
+			break
+		}
+		s.BarrierBefore(b)
+		s.stepGlobalRound(b)
+	}
+	s.dispatch(drainCmd{mode: cmdRunAll})
+}
+
+// RunUntil fires events with time ≤ deadline, then advances every clock to
+// deadline — the sharded form of Engine.RunUntil, byte-identical to it.
+func (s *ShardedEngine) RunUntil(deadline Time) {
+	for {
+		b, ok := s.global.NextEventAt()
+		if !ok || b > deadline {
+			break
+		}
+		s.BarrierBefore(b)
+		s.stepGlobalRound(b)
+	}
+	s.Drain(deadline)
+	s.global.RunUntil(deadline) // nothing ≤ deadline remains; advances the clock
+}
+
+// Close stops the worker goroutines. The engines stay readable (final
+// clocks, pending counts); running after Close panics on the closed channels.
+// Close is idempotent.
+func (s *ShardedEngine) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, ch := range s.cmds {
+		close(ch)
+	}
+}

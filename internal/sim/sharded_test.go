@@ -1,0 +1,401 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// --- Engine.Drain / drainBefore / NextEventAt ---
+
+func TestDrainFiresThroughDeadlineAndCounts(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5, 10, 10, 20} {
+		at := at
+		e.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	if n := e.Drain(10); n != 3 {
+		t.Fatalf("Drain(10) fired %d events, want 3", n)
+	}
+	if want := []Time{5, 10, 10}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("now = %v, want 10", e.Now())
+	}
+	// Advancing past the last event still moves the clock to the deadline.
+	if n := e.Drain(100); n != 1 || e.Now() != 100 {
+		t.Fatalf("Drain(100) = %d events, now %v; want 1 event, now 100", n, e.Now())
+	}
+}
+
+func TestDrainOnEmptyQueueAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	if n := e.Drain(42); n != 0 || e.Now() != 42 {
+		t.Fatalf("Drain(42) = %d, now %v; want 0, 42", n, e.Now())
+	}
+	// A deadline in the past is a no-op, not a clock rewind.
+	if n := e.Drain(7); n != 0 || e.Now() != 42 {
+		t.Fatalf("Drain(7) = %d, now %v; want 0, 42", n, e.Now())
+	}
+}
+
+func TestDrainBeforeIsStrict(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15} {
+		at := at
+		e.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	e.drainBefore(10)
+	if want := []Time{5}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired = %v, want %v (events at the limit must not fire)", fired, want)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("now = %v, want 10 (clock parks at the barrier)", e.Now())
+	}
+	// The parked event at exactly 10 is still pending and fires next.
+	e.Drain(10)
+	if want := []Time{5, 10}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("NextEventAt on empty queue reported ok")
+	}
+	e.At(30, func(Time) {})
+	e.At(10, func(Time) {})
+	if at, ok := e.NextEventAt(); !ok || at != 10 {
+		t.Fatalf("NextEventAt = %v, %v; want 10, true", at, ok)
+	}
+	if e.Now() != 0 || e.Pending() != 2 {
+		t.Fatal("NextEventAt must not fire or advance anything")
+	}
+}
+
+// --- ShardedEngine ---
+
+func TestNewShardedPanicsOnZeroShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSharded(0) did not panic")
+		}
+	}()
+	NewSharded(0)
+}
+
+// shardModel is a deterministic synthetic workload: nChans independent
+// event chains (one per logical channel), each recording (time, state) pairs
+// into a per-channel log. It runs identically on a serial Engine (the
+// oracle) and on a ShardedEngine at any shard count, so the logs must match
+// byte for byte.
+type shardModel struct {
+	logs  [][]string
+	state []uint64
+}
+
+func newShardModel(nChans int) *shardModel {
+	return &shardModel{logs: make([][]string, nChans), state: make([]uint64, nChans)}
+}
+
+// chain schedules events on e at start, start+step, ... (count of them),
+// each mixing the event time into channel ch's state.
+func (m *shardModel) chain(e *Engine, ch int, start, step Time, count int) {
+	i := 0
+	var fire Event
+	fire = func(now Time) {
+		m.state[ch] = m.state[ch]*6364136223846793005 + uint64(now) + 1
+		m.logs[ch] = append(m.logs[ch], fmt.Sprintf("%d@%d:%x", ch, now, m.state[ch]))
+		i++
+		if i < count {
+			e.At(now+step, fire)
+		}
+	}
+	e.At(start, fire)
+}
+
+func TestShardedRunMatchesSerial(t *testing.T) {
+	const nChans = 8
+	build := func(shard func(ch int) *Engine, m *shardModel) {
+		for ch := 0; ch < nChans; ch++ {
+			m.chain(shard(ch), ch, Time(1+ch), Time(3+ch%4), 50)
+		}
+	}
+
+	oracle := newShardModel(nChans)
+	eng := NewEngine()
+	build(func(int) *Engine { return eng }, oracle)
+	eng.Run()
+
+	for _, shards := range []int{1, 2, 4, 7} {
+		m := newShardModel(nChans)
+		s := NewSharded(shards)
+		build(func(ch int) *Engine { return s.Shard(ch % shards) }, m)
+		s.Run()
+		s.Close()
+		if !reflect.DeepEqual(m.logs, oracle.logs) {
+			t.Errorf("shards=%d: logs diverge from serial oracle", shards)
+		}
+		if s.Pending() != 0 {
+			t.Errorf("shards=%d: %d events left pending after Run", shards, s.Pending())
+		}
+	}
+}
+
+func TestShardedRunUntilMatchesSerial(t *testing.T) {
+	const nChans = 5
+	const deadline = Time(60)
+	build := func(shard func(ch int) *Engine, m *shardModel) {
+		for ch := 0; ch < nChans; ch++ {
+			m.chain(shard(ch), ch, Time(2+ch), Time(7), 40) // chains outlive the deadline
+		}
+	}
+
+	oracle := newShardModel(nChans)
+	eng := NewEngine()
+	build(func(int) *Engine { return eng }, oracle)
+	eng.RunUntil(deadline)
+
+	for _, shards := range []int{1, 2, 4} {
+		m := newShardModel(nChans)
+		s := NewSharded(shards)
+		build(func(ch int) *Engine { return s.Shard(ch % shards) }, m)
+		s.RunUntil(deadline)
+		if !reflect.DeepEqual(m.logs, oracle.logs) {
+			t.Errorf("shards=%d: logs diverge from serial oracle at deadline", shards)
+		}
+		if s.Now() != deadline {
+			t.Errorf("shards=%d: Now = %v, want %v", shards, s.Now(), deadline)
+		}
+		for i := 0; i < shards; i++ {
+			if n := s.Shard(i).Now(); n != deadline {
+				t.Errorf("shards=%d: shard %d clock = %v, want %v", shards, i, n, deadline)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestShardedGlobalBarrierOrdering pins the tie-break convention: a global
+// event at time B observes exactly the shard events strictly before B (the
+// ones at B have not fired yet), and may schedule onto any shard at ≥ B.
+// Each shard logs only its own events — the global event, which runs with
+// the shards quiesced, is the only reader that crosses shards.
+func TestShardedGlobalBarrierOrdering(t *testing.T) {
+	s := NewSharded(2)
+	defer s.Close()
+
+	logs := make([][]Time, 2)
+	for ch := 0; ch < 2; ch++ {
+		ch := ch
+		for _, at := range []Time{3, 5, 8} {
+			at := at
+			s.Shard(ch).At(at, func(now Time) {
+				logs[ch] = append(logs[ch], now)
+			})
+		}
+	}
+	sawAtBarrier := -1
+	seeded := Time(0)
+	s.Global().At(5, func(now Time) {
+		// The shards are parked at 5 with everything < 5 fired: if the
+		// shard events at exactly 5 had fired, this count would be 4.
+		sawAtBarrier = len(logs[0]) + len(logs[1])
+		// Global events may reach across shards: seed a shard event at ≥ B.
+		s.Shard(1).At(now+1, func(at Time) { seeded = at })
+	})
+	s.Run()
+
+	if sawAtBarrier != 2 {
+		t.Fatalf("global@5 observed %d shard events, want exactly the 2 strictly before it", sawAtBarrier)
+	}
+	want := []Time{3, 5, 8}
+	for ch := 0; ch < 2; ch++ {
+		if !reflect.DeepEqual(logs[ch], want) {
+			t.Fatalf("shard %d log = %v, want %v", ch, logs[ch], want)
+		}
+	}
+	if seeded != 6 {
+		t.Fatalf("globally seeded shard event fired at %v, want 6", seeded)
+	}
+}
+
+// crossShardModel exercises the cross-shard seams the barrier protocol
+// exists for: chains migrate between logical channels via global events, and
+// a global mid-run kill cancels a channel's chain — mirroring segment
+// migration and health-monitor rank retirement crossing shard boundaries.
+type crossShardModel struct {
+	*shardModel
+	stopped []bool
+}
+
+func buildCrossShard(shard func(ch int) *Engine, global *Engine, nChans int) *crossShardModel {
+	m := &crossShardModel{shardModel: newShardModel(nChans), stopped: make([]bool, nChans)}
+	var chain func(e *Engine, ch int, start, step Time, count int)
+	chain = func(e *Engine, ch int, start, step Time, count int) {
+		i := 0
+		var fire Event
+		fire = func(now Time) {
+			if m.stopped[ch] {
+				return
+			}
+			m.state[ch] = m.state[ch]*6364136223846793005 + uint64(now) + 1
+			m.logs[ch] = append(m.logs[ch], fmt.Sprintf("%d@%d:%x", ch, now, m.state[ch]))
+			i++
+			if i < count {
+				e.At(now+step, fire)
+			}
+		}
+		e.At(start, fire)
+	}
+	for ch := 0; ch < nChans; ch++ {
+		chain(shard(ch), ch, Time(1+ch), Time(4), 200)
+	}
+	// Migration at t=101: channel 0's accumulated state seeds a new chain on
+	// channel 1 (a different shard for every tested shard count > 1).
+	global.At(101, func(now Time) {
+		seed := m.state[0]
+		m.logs[1] = append(m.logs[1], fmt.Sprintf("migrate-in@%d:%x", now, seed))
+		m.state[1] += seed
+		chain(shard(1), 1, now+3, 5, 40)
+	})
+	// Mid-run kill at t=301: channel 2 stops cold, like a retired rank.
+	global.At(301, func(now Time) {
+		m.stopped[2] = true
+		m.logs[2] = append(m.logs[2], fmt.Sprintf("killed@%d", now))
+	})
+	return m
+}
+
+func TestShardedMigrationAndKillMatchesSerialOracle(t *testing.T) {
+	const nChans = 6
+
+	// Serial oracle: one engine plays both roles. Global events are
+	// scheduled first (lowest seq), so at equal times they fire before
+	// chain events — the same tie-break the sharded barrier guarantees.
+	eng := NewEngine()
+	oracle := buildCrossShard(func(int) *Engine { return eng }, eng, nChans)
+	eng.Run()
+
+	for _, shards := range []int{1, 2, 4, 7} {
+		s := NewSharded(shards)
+		m := buildCrossShard(func(ch int) *Engine { return s.Shard(ch % shards) }, s.Global(), nChans)
+		s.Run()
+		s.Close()
+		if !reflect.DeepEqual(m.logs, oracle.logs) {
+			for ch := range m.logs {
+				if !reflect.DeepEqual(m.logs[ch], oracle.logs[ch]) {
+					t.Errorf("shards=%d: channel %d log diverges (got %d entries, want %d)",
+						shards, ch, len(m.logs[ch]), len(oracle.logs[ch]))
+				}
+			}
+		}
+	}
+}
+
+func TestShardedCloseIsIdempotent(t *testing.T) {
+	s := NewSharded(3)
+	s.Shard(0).At(1, func(Time) {})
+	s.Run()
+	s.Close()
+	s.Close()
+	if s.Now() != 1 {
+		t.Fatalf("Now = %v after Close, want 1", s.Now())
+	}
+}
+
+func TestShardedBarrierSteadyStateDoesNotAllocate(t *testing.T) {
+	s := NewSharded(4)
+	defer s.Close()
+	var at Time
+	allocs := testing.AllocsPerRun(100, func() {
+		at++
+		s.BarrierBefore(at)
+	})
+	if allocs != 0 {
+		t.Fatalf("barrier round allocates %v times, want 0", allocs)
+	}
+}
+
+// --- benchmarks gated by scripts/bench_check.sh ---
+
+// benchShardWork is the per-op workload for the RunAll benchmarks: 64
+// independent chains of 200 events each (12800 events), the shape of a
+// multi-channel replay. Chains never share state, so the sharded run is
+// embarrassingly parallel between barriers.
+const (
+	benchChains      = 64
+	benchChainEvents = 200
+)
+
+func scheduleBenchChains(shard func(ch int) *Engine, state []uint64) {
+	for ch := 0; ch < benchChains; ch++ {
+		ch := ch
+		e := shard(ch)
+		i := 0
+		var fire Event
+		fire = func(now Time) {
+			// ~a dozen ns of "model" work per event, all chain-local.
+			x := state[ch]
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			state[ch] = x + uint64(now)
+			i++
+			if i < benchChainEvents {
+				e.At(now+Time(1+x%7), fire)
+			}
+		}
+		e.At(Time(1+ch), fire)
+	}
+}
+
+// BenchmarkSerialRunAll is the oracle side of the pair: the same 12800-event
+// workload BenchmarkShardedRunAll runs, on one serial Engine.
+func BenchmarkSerialRunAll(b *testing.B) {
+	state := make([]uint64, benchChains)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		scheduleBenchChains(func(int) *Engine { return e }, state)
+		e.Run()
+	}
+}
+
+// BenchmarkShardedRunAll runs the workload on min(4, GOMAXPROCS) shards.
+// On a multi-core runner the chains drain concurrently; on one core it
+// measures the protocol's overhead over BenchmarkSerialRunAll.
+func BenchmarkShardedRunAll(b *testing.B) {
+	shards := 4
+	if p := runtime.GOMAXPROCS(0); p < shards {
+		shards = p
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	state := make([]uint64, benchChains)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSharded(shards)
+		scheduleBenchChains(func(ch int) *Engine { return s.Shard(ch % shards) }, state)
+		s.Run()
+		s.Close()
+	}
+}
+
+// BenchmarkShardBarrier measures one barrier round trip across 4 shards
+// with no shard work: the fixed cost every global event (sample, migration,
+// probe) pays. It must stay allocation-free.
+func BenchmarkShardBarrier(b *testing.B) {
+	s := NewSharded(4)
+	defer s.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.BarrierBefore(Time(i + 1))
+	}
+}

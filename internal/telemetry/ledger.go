@@ -314,9 +314,9 @@ type CauseTotal struct {
 // deterministically sorted by (vm, rank, cause code) so identical runs
 // produce byte-identical artifacts.
 type LedgerSnapshot struct {
-	TotalLatNs  int64        `json:"total_lat_ns"`
-	TotalEnergy float64      `json:"total_energy"`
-	Causes      []CauseTotal `json:"causes"`
+	TotalLatNs  int64         `json:"total_lat_ns"`
+	TotalEnergy float64       `json:"total_energy"`
+	Causes      []CauseTotal  `json:"causes"`
 	Entries     []LedgerEntry `json:"entries"`
 }
 

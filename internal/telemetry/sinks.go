@@ -557,12 +557,12 @@ func SummarizeChromeTrace(r io.Reader) (*TraceSummary, error) {
 // jsonlRecord is the decoded form of one JSONL trace line (the schema the
 // appenders above produce). Pointer fields distinguish absent from zero.
 type jsonlRecord struct {
-	Type     string `json:"type"`
-	Rank     *int   `json:"rank"`
-	RankName string `json:"rank_name"`
-	State    string `json:"state"`
-	StartNs  int64  `json:"start_ns"`
-	EndNs    int64  `json:"end_ns"`
+	Type     string  `json:"type"`
+	Rank     *int    `json:"rank"`
+	RankName string  `json:"rank_name"`
+	State    string  `json:"state"`
+	StartNs  int64   `json:"start_ns"`
+	EndNs    int64   `json:"end_ns"`
 	AtNs     int64   `json:"at_ns"`
 	DurNs    int64   `json:"dur_ns"`
 	Channel  *int    `json:"channel"`

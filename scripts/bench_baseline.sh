@@ -16,13 +16,17 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_seed.json}"
-pattern="${2:-BenchmarkAccessPath|BenchmarkAllocDealloc|BenchmarkEngineStep|BenchmarkSMCHit|BenchmarkSMCMissWalk|BenchmarkSwapMigration}"
+# Every baseline benchmark is named explicitly and the pattern is anchored
+# below: an unanchored `-bench BenchmarkEngineStep` also matches
+# BenchmarkEngineStepDeep (go test matches substrings), which once let two
+# names share one set of averaged numbers in the seed baseline.
+pattern="${2:-BenchmarkAccessPath|BenchmarkAttributedAccessPath|BenchmarkAllocDealloc|BenchmarkEngineStep|BenchmarkEngineStepDeep|BenchmarkSMCHit|BenchmarkSMCMissWalk|BenchmarkSwapMigration|BenchmarkSerialRunAll|BenchmarkShardedRunAll|BenchmarkShardBarrier}"
 count="${3:-5}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem -count "$count" ./... | tee "$tmp" >&2
+go test -run '^$' -bench "^($pattern)\$" -benchmem -count "$count" ./... | tee "$tmp" >&2
 
 # Parse `go test -bench` lines:
 #   BenchmarkAccessPath-8   8242424   146.7 ns/op   0 B/op   0 allocs/op
@@ -55,5 +59,26 @@ END {
     }
     printf "\n  ]\n}\n"
 }' "$tmp" > "$out"
+
+# Fail loudly if two entries carry verbatim-identical numbers: distinct
+# benchmarks never tie to the hundredth of a nanosecond across averaged
+# runs, so a duplicate means the pattern matched one benchmark under two
+# names (or a copy-paste slipped into the baseline).
+dupes="$(awk -F'"' '
+/"name":/ {
+    name = $4
+    line = $0
+    sub(/.*"ns_per_op": /, "", line)
+    if (seen[line]) {
+        printf "%s and %s share identical numbers: %s\n", seen[line], name, line
+        bad = 1
+    }
+    seen[line] = name
+}
+END { exit bad }' "$out")" || {
+    echo "bench_baseline.sh: duplicated benchmark entries in $out:" >&2
+    echo "$dupes" >&2
+    exit 1
+}
 
 echo "wrote $out" >&2

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Cross-check sharded execution against the serial oracle at the CLI layer.
+#
+# Usage:
+#   scripts/shard_check.sh [shards]
+#
+# Builds dtlsim, runs the full quick suite serially and with -shards N
+# (default 4), and cmp's the reports byte for byte; then runs fig2 (metrics
+# CSV via the sharded replay) and fig12 (jsonl trace + ledger + metrics,
+# with an ECC storm and a mid-run rank kill forcing cross-rank migrations)
+# and cmp's every artifact. The in-process test matrix
+# (TestShardedMatchesSerial) covers the same contract under -race; this
+# script covers the flag plumbing end to end, exactly the way a user runs
+# it. Any diff is a determinism bug, never noise.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+shards="${1:-4}"
+
+# The flag layer caps -shards at GOMAXPROCS; lift the cap so a single-core
+# runner still exercises multi-shard scheduling (output is identical at
+# every count, so the cap is about contention, not correctness).
+GOMAXPROCS="$shards"
+export GOMAXPROCS
+
+work="$(mktemp -d)"
+bin="$work/dtlsim"
+trap 'rm -f -r "$work"' EXIT
+
+go build -o "$bin" ./cmd/dtlsim
+
+echo "shard_check: full quick suite, serial vs -shards $shards" >&2
+"$bin" -exp all -quick > "$work/all_serial.txt"
+"$bin" -exp all -quick -shards "$shards" > "$work/all_sharded.txt"
+cmp "$work/all_serial.txt" "$work/all_sharded.txt" || {
+    echo "shard_check: FAIL: suite report differs between serial and -shards $shards" >&2
+    exit 1
+}
+
+faults='seed=7;storm:ch1/rk2:at=90m,rate=2000,dur=60s;kill:ch0/rk0:at=3h'
+for exp in fig2 fig12; do
+    f=''
+    if [ "$exp" = fig12 ]; then f="$faults"; fi
+    echo "shard_check: $exp artifacts, serial vs -shards $shards" >&2
+    for mode in serial sharded; do
+        d="$work/$exp.$mode"
+        mkdir -p "$d"
+        extra=''
+        if [ "$mode" = sharded ]; then extra="-shards $shards"; fi
+        # shellcheck disable=SC2086
+        "$bin" -exp "$exp" -quick -faults "$f" $extra \
+            -metrics "$d/metrics.csv" \
+            -trace "$d/trace.jsonl" -trace-format jsonl \
+            -ledger "$d/ledger.json" > "$d/report.txt"
+    done
+    for art in report.txt metrics.csv trace.jsonl ledger.json; do
+        a="$work/$exp.serial/$art"
+        b="$work/$exp.sharded/$art"
+        if [ -e "$a" ] || [ -e "$b" ]; then
+            cmp "$a" "$b" || {
+                echo "shard_check: FAIL: $exp $art differs between serial and -shards $shards" >&2
+                exit 1
+            }
+        fi
+    done
+done
+
+echo "shard_check: ok — byte-identical at -shards $shards" >&2
