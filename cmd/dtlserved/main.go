@@ -8,9 +8,18 @@
 //	curl -s localhost:8080/v1/jobs/j000001/stream
 //	curl -s localhost:8080/v1/jobs/j000001/artifacts/trace.jsonl
 //
+// The daemon logs structured records (log/slog) to stderr; -log-format
+// selects text or json and -log-level sets the floor. Every job-scoped
+// record carries job_id, spec_digest, and stage attributes, so `-log-format
+// json` pipes straight into jq:
+//
+//	dtlserved -log-format json 2>&1 | jq 'select(.job_id=="j000001")'
+//
 // On SIGTERM/SIGINT the daemon drains: new submissions are rejected with 503
 // while queued and in-flight jobs run to completion (bounded by
 // -drain-timeout, after which they are canceled), then the listener closes.
+// Every exit path after startup drains, which closes the journal cleanly and
+// emits a terminal "stopped" record.
 //
 // The daemon is crash-safe: accepted jobs are journaled to
 // <store>/journal.jsonl before Submit returns, and a restart on the same
@@ -27,7 +36,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,30 +44,19 @@ import (
 	"time"
 
 	"dtl/internal/cliflag"
+	"dtl/internal/obs"
 	"dtl/internal/serve"
 	"dtl/internal/serve/chaos"
 )
 
-// boundedWorkers validates a -parallel/-shards value, rejecting negatives
-// and explicit zeros and capping at GOMAXPROCS with a warning.
-func boundedWorkers(name string, v int) int {
-	explicit := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == name {
-			explicit = true
-		}
-	})
-	n, warn, err := cliflag.BoundedWorkers(name, v, explicit)
-	if err != nil {
-		log.Fatalf("dtlserved: %v", err)
-	}
-	if warn != "" {
-		log.Printf("dtlserved: %s", warn)
-	}
-	return n
-}
+func main() { os.Exit(run()) }
 
-func main() {
+// run is the whole daemon; it returns the process exit code so every path
+// out — flag errors, bind failures, signal-driven shutdown — funnels through
+// one place instead of scattering os.Exit calls that would skip cleanup.
+// After serve.New succeeds, the only exits are via shutdown(), which drains
+// the server (closing the journal) and logs a terminal record.
+func run() int {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	workers := flag.Int("workers", max(1, runtime.NumCPU()/2), "job worker pool size")
 	queue := flag.Int("queue", 8, "admission queue depth (full queue => 429)")
@@ -69,18 +66,54 @@ func main() {
 	chaosSpec := flag.String("chaos", "", `fault-injection spec, e.g. "seed=1;panic=0.1;crash-commit=0.05" (default: disabled)`)
 	parallel := flag.Int("parallel", 1, "default sweep fan-out for jobs that leave 'parallel' unset")
 	shards := flag.Int("shards", 1, "default replay shard count for jobs that leave 'shards' unset (artifacts identical at every count)")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "log floor: debug, info, warn or error")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof (off by default: exposes heap contents)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "dtlserved: unexpected argument %q\n", flag.Arg(0))
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
-	*parallel = boundedWorkers("parallel", *parallel)
-	*shards = boundedWorkers("shards", *shards)
+
+	// The logger comes up before anything that can fail, so even startup
+	// errors are structured records in the operator's chosen encoding.
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtlserved: %v\n", err)
+		return 2
+	}
+
+	bounded := func(name string, v int) (int, bool) {
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == name {
+				explicit = true
+			}
+		})
+		n, warn, err := cliflag.CheckWorkers(name, v, explicit)
+		if err != nil {
+			logger.Error("invalid flag", "err", err)
+			return 0, false
+		}
+		if warn != nil {
+			logger.Warn("worker count capped", "flag", warn.Flag,
+				"requested", warn.Requested, "capped", warn.Capped)
+		}
+		return n, true
+	}
+	ok := true
+	if *parallel, ok = bounded("parallel", *parallel); !ok {
+		return 2
+	}
+	if *shards, ok = bounded("shards", *shards); !ok {
+		return 2
+	}
 
 	harness, err := chaos.Parse(*chaosSpec)
 	if err != nil {
-		log.Fatalf("dtlserved: -chaos: %v", err)
+		logger.Error("invalid -chaos spec", "err", err)
+		return 2
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -91,47 +124,64 @@ func main() {
 		Chaos:           harness,
 		DefaultParallel: *parallel,
 		DefaultShards:   *shards,
+		Logger:          logger,
+		EnablePprof:     *pprof,
 		// A chaos crash point behaves like a power cut: the process dies on
-		// the spot with the classic SIGKILL-style status, and recovery is the
-		// next boot's problem.
+		// the spot with the classic SIGKILL-style status, and recovery is
+		// the next boot's problem. Deliberately no drain and no journal
+		// close — the drill exists to leave a torn journal behind.
 		OnCrash: func() {
-			log.Printf("dtlserved: chaos crash point hit, dying")
+			logger.Error("chaos crash point hit, dying", "exit_code", 137)
 			os.Exit(137)
 		},
 	})
 	if err != nil {
-		log.Fatalf("dtlserved: %v", err)
+		logger.Error("startup failed", "err", err)
+		return 1
 	}
-	log.Printf("dtlserved: %d workers, queue depth %d, store %s", *workers, *queue, srv.Store().Dir())
+	logger.Info("dtlserved started",
+		"workers", *workers, "queue_depth", *queue, "store", srv.Store().Dir(),
+		"log_format", *logFormat, "pprof", *pprof)
 	if rec := srv.Recovery(); rec.Restored+rec.Reenqueued > 0 || rec.CorruptRecords > 0 {
-		log.Printf("dtlserved: journal recovery: %d restored, %d re-enqueued, %d poisoned, %d corrupt records (torn tail: %v)",
-			rec.Restored, rec.Reenqueued, rec.Poisoned, rec.CorruptRecords, rec.TornTail)
+		logger.Info("journal recovery",
+			"restored", rec.Restored, "reenqueued", rec.Reenqueued, "poisoned", rec.Poisoned,
+			"corrupt_records", rec.CorruptRecords, "torn_tail", rec.TornTail)
 	}
 	if harness.Enabled() {
-		log.Printf("dtlserved: CHAOS ARMED: %s", *chaosSpec)
+		logger.Warn("CHAOS ARMED", "spec", *chaosSpec)
 	}
 
+	// shutdown drains the server (queued and in-flight jobs finish, bounded
+	// by -drain-timeout) and closes the listener. Drain closes the journal,
+	// so every return below leaves a clean, compactable log behind.
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	shutdown := func(code int) int {
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			logger.Warn("drain timeout, in-flight jobs canceled", "err", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Warn("http shutdown", "err", err)
+		}
+		logger.Info("stopped", "exit_code", code)
+		return code
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- hs.ListenAndServe() }()
-	log.Printf("dtlserved: listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case err := <-done:
-		log.Fatalf("dtlserved: %v", err)
+		// The listener died under us (bind failure or runtime error). The
+		// journal still deserves a clean close: drain, then report failure.
+		logger.Error("http server failed", "err", err)
+		return shutdown(1)
 	case s := <-sig:
-		log.Printf("dtlserved: %v: draining (in-flight jobs finish, submits get 503)", s)
+		logger.Info("signal received, draining", "signal", s.String())
 	}
-
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-	defer cancel()
-	if err := srv.Drain(ctx); err != nil {
-		log.Printf("dtlserved: drain timeout, in-flight jobs canceled: %v", err)
-	}
-	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("dtlserved: shutdown: %v", err)
-	}
-	log.Printf("dtlserved: stopped")
+	return shutdown(0)
 }

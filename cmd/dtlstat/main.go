@@ -14,6 +14,9 @@
 //	dtlstat top -json trace.jsonl
 //	dtlstat diff baseline.jsonl candidate.jsonl
 //	dtlstat diff -share 0.05 -lat 0.25 -energy 0.10 -attr 0.25 a.jsonl b.jsonl
+//	dtlstat jobs -addr 127.0.0.1:8080 -state running     # live dtlserved fleet
+//	dtlstat timeline timeline.json                       # where did my wall-clock go?
+//	dtlstat timeline -check stage=queued,p99<100ms timeline.json
 //
 //	dtlstat [-check band.json] trace.json                # legacy spelling of 'read'
 //
@@ -61,6 +64,10 @@ func main() {
 			os.Exit(cmdDiff(args[1:]))
 		case "top":
 			os.Exit(cmdTop(args[1:]))
+		case "jobs":
+			os.Exit(cmdJobs(args[1:]))
+		case "timeline":
+			os.Exit(cmdTimeline(args[1:]))
 		case "help", "-h", "-help", "--help":
 			usage()
 			return
@@ -75,10 +82,15 @@ func usage() {
   dtlstat read [-json] [-check band.json] <trace>
   dtlstat top [-json] <ledger.json | trace>
   dtlstat diff [-json] [-share S] [-lat L] [-energy E] [-attr A] <traceA> <traceB>
+  dtlstat jobs [-addr host:port] [-state S] [-json]
+  dtlstat timeline [-json] [-check stage=queued,p99<100ms]... <timeline.json>
+  dtlstat timeline [-json] [-check ...] -addr host:port -job j000001
   dtlstat [-check band.json] <trace>     (same as 'read')
 
 Traces may be chrome JSON, JSONL, or events CSV; the format is sniffed.
-'top' also accepts the attribution ledger JSON written by dtlsim -ledger.`)
+'top' also accepts the attribution ledger JSON written by dtlsim -ledger.
+'jobs' and 'timeline' talk to a live dtlserved; 'timeline' also reads the
+timeline.json artifact every finished job carries.`)
 }
 
 // loadSummary opens and summarizes one trace file of any supported format.

@@ -19,6 +19,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"dtl/internal/experiments"
@@ -51,7 +52,21 @@ func main() {
 	defer cancel()
 	// The hardened client: jittered backoff on 5xx/transport errors,
 	// Retry-After honored on 429/503, circuit breaker on a dead daemon.
-	c := client.New(base).WithRetry(client.RetryPolicy{})
+	// OnEvent surfaces every retry and breaker transition — against the
+	// in-process daemon it stays silent, but pointed at a flaky deployment
+	// this is where the transport's self-healing becomes visible.
+	c := client.New(base).WithRetry(client.RetryPolicy{
+		OnEvent: func(ev client.RetryEvent) {
+			switch ev.Kind {
+			case client.EventRetry:
+				fmt.Fprintf(os.Stderr, "transport: attempt %d failed (%v); retrying in %s\n",
+					ev.Attempt, ev.Err, ev.Delay.Round(time.Millisecond))
+			default:
+				fmt.Fprintf(os.Stderr, "transport: circuit breaker %s\n",
+					strings.TrimPrefix(ev.Kind, "breaker-"))
+			}
+		},
+	})
 
 	// Submit the A/B pair: same experiment, same seed, one policy knob apart.
 	baseline, err := c.Submit(ctx, serve.JobSpec{Experiment: "fig12", Quick: true})

@@ -45,3 +45,26 @@ func TestBoundedWorkers(t *testing.T) {
 		})
 	}
 }
+
+func TestCheckWorkersStructuredWarning(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	n, w, err := CheckWorkers("shards", max+3, true)
+	if err != nil {
+		t.Fatalf("CheckWorkers: %v", err)
+	}
+	if n != max {
+		t.Fatalf("CheckWorkers capped to %d, want %d", n, max)
+	}
+	if w == nil {
+		t.Fatal("CheckWorkers returned nil warning for an above-cap count")
+	}
+	if w.Flag != "shards" || w.Requested != max+3 || w.Capped != max {
+		t.Fatalf("warning fields = %+v, want {shards %d %d}", w, max+3, max)
+	}
+	if !strings.Contains(w.String(), "-shards") {
+		t.Fatalf("warning string %q does not name the flag", w.String())
+	}
+	if _, w, _ := CheckWorkers("shards", 1, true); w != nil {
+		t.Fatalf("CheckWorkers(1) warning = %+v, want nil", w)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Hist is a fixed-bucket histogram safe for concurrent Observe without
+// locks: per-bucket atomic counters plus a CAS-accumulated float sum.
+// Observe is zero-alloc. Exposition follows the Prometheus histogram
+// convention: cumulative _bucket{le=...} series, _sum and _count.
+type Hist struct {
+	bounds []float64      // ascending inclusive upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last bucket is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-added
+	n      atomic.Int64
+}
+
+// NewHist builds a histogram over the given ascending upper bounds.
+func NewHist(bounds ...float64) *Hist {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Hist{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. Zero-alloc; safe for concurrent use.
+func (h *Hist) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Hist) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// WriteSeries writes the _bucket/_sum/_count sample lines for one series.
+// extraLabels is either empty or a comma-joined `k="v"` list that is merged
+// with the le label. The caller writes # HELP / # TYPE once per metric name.
+func (h *Hist) WriteSeries(w io.Writer, name, extraLabels string) {
+	sep := ""
+	if extraLabels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, extraLabels, sep, b, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, extraLabels, sep, cum)
+	if extraLabels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, extraLabels, h.Sum())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, extraLabels, cum)
+	} else {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	}
+}
+
+// Bucket layouts. Stage spans range from tens of microseconds (submit,
+// journal-append) to full job runtimes (running), so the stage buckets span
+// 1ms..120s. Fsync latencies live under a second on healthy disks; store
+// writes are artifact-sized (KB..tens of MB).
+var (
+	// SecondsBuckets covers job-stage durations.
+	SecondsBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+	// FsyncBuckets covers journal fsync latency.
+	FsyncBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+	// BytesBuckets covers artifact write sizes.
+	BytesBuckets = []float64{1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216, 67108864}
+)
+
+// StageHists is one SecondsBuckets histogram per Stage, for the
+// dtlserved_stage_seconds{stage=...} family.
+type StageHists struct {
+	h [NumStages]*Hist
+}
+
+// NewStageHists builds the per-stage family.
+func NewStageHists() *StageHists {
+	var s StageHists
+	for i := range s.h {
+		s.h[i] = NewHist(SecondsBuckets...)
+	}
+	return &s
+}
+
+// Observe records one stage duration in seconds. Zero-alloc.
+func (s *StageHists) Observe(st Stage, seconds float64) {
+	if s == nil || st >= NumStages {
+		return
+	}
+	s.h[st].Observe(seconds)
+}
+
+// Count returns the observation count for one stage.
+func (s *StageHists) Count(st Stage) int64 {
+	if s == nil || st >= NumStages {
+		return 0
+	}
+	return s.h[st].Count()
+}
+
+// Write emits the full family under name, one labeled series per stage, in
+// stage-enum order. Every stage is emitted even at zero observations so
+// scrapers (and CI) can assert series presence.
+func (s *StageHists) Write(w io.Writer, name string) {
+	fmt.Fprintf(w, "# HELP %s Wall-clock duration of job lifecycle stages.\n", name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for st := Stage(0); st < NumStages; st++ {
+		s.h[st].WriteSeries(w, name, fmt.Sprintf("stage=%q", st.String()))
+	}
+}

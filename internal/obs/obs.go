@@ -1,0 +1,75 @@
+// Package obs is the wall-clock observability plane for the serving stack.
+//
+// It is deliberately separate from internal/telemetry: telemetry accounts
+// *virtual* time — where simulated nanoseconds and energy went inside a run —
+// while obs accounts *real* time — where the daemon's wall-clock seconds went
+// while producing that run (queue wait, engine execution, journal fsync,
+// artifact commit). The two meet only in the Chrome trace viewer, where a
+// job's wall-clock timeline and its virtual-time trace open side by side.
+//
+// The package provides three primitives:
+//
+//   - a structured logger (log/slog) with text/json output and canonical
+//     attribute keys, so every job-scoped record is machine-filterable;
+//   - Timeline, a zero-alloc per-job monotonic-clock span accumulator;
+//   - Hist, a lock-free fixed-bucket histogram with Prometheus exposition.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Canonical attribute keys. Every job-scoped log record emitted by the
+// serving stack carries all three, so `jq 'select(.job_id=="job-7")'` over a
+// JSON log stream reconstructs one job's story.
+const (
+	KeyJob    = "job_id"
+	KeyDigest = "spec_digest"
+	KeyStage  = "stage"
+)
+
+// ParseLevel maps a -log-level flag value to a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds the daemon logger. format is "text" or "json"; level is
+// parsed by ParseLevel. The zero values ("", "") mean text at info.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// nopLevel sits above every real level so the nop logger's Enabled check
+// rejects records before any formatting work happens.
+const nopLevel = slog.Level(127)
+
+// Nop returns a logger that discards everything. Server code holds a
+// non-nil *slog.Logger unconditionally; embedders that don't care pay only
+// an Enabled check per record.
+func Nop() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: nopLevel}))
+}

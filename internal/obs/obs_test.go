@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatalf("ParseLevel(loud): want error")
+	}
+}
+
+func TestNewLoggerJSONCarriesCanonicalKeys(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("job submitted", KeyJob, "job-1", KeyDigest, "abc", KeyStage, StageSubmit.String())
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	for k, want := range map[string]string{KeyJob: "job-1", KeyDigest: "abc", KeyStage: "submit"} {
+		if rec[k] != want {
+			t.Errorf("record[%q] = %v, want %q", k, rec[k], want)
+		}
+	}
+}
+
+func TestNewLoggerRejectsUnknownFormat(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "xml", "info"); err == nil {
+		t.Fatalf("want error for xml format")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "json", "shout"); err == nil {
+		t.Fatalf("want error for bad level")
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	// Must not panic and must not be enabled at any standard level.
+	lg := Nop()
+	lg.Error("dropped")
+	if lg.Enabled(nil, slog.LevelError) {
+		t.Fatalf("nop logger should be disabled at error level")
+	}
+}
+
+func TestStageNamesAndParse(t *testing.T) {
+	for s := Stage(0); s < NumStages; s++ {
+		got, ok := ParseStage(s.String())
+		if !ok || got != s {
+			t.Errorf("ParseStage(%q) = %v, %v; want %v", s.String(), got, ok, s)
+		}
+	}
+	if _, ok := ParseStage("nope"); ok {
+		t.Fatalf("ParseStage(nope): want !ok")
+	}
+	core := CoreStages()
+	if len(core) != 5 || core[len(core)-1] != StageArtifactCommit {
+		t.Fatalf("CoreStages() = %v", core)
+	}
+	if StageJournalFsync.Core() || !StageRunning.Core() {
+		t.Fatalf("Core() misclassifies stages")
+	}
+}
+
+func TestTimelineSnapshotAccounting(t *testing.T) {
+	base := time.Now()
+	tl := NewTimeline(base)
+	tl.Record(StageSubmit, base, base.Add(2*time.Millisecond))
+	tl.Record(StageQueued, base.Add(2*time.Millisecond), base.Add(10*time.Millisecond))
+	tl.Record(StageRunning, base.Add(10*time.Millisecond), base.Add(110*time.Millisecond))
+	tl.Record(StageJournalFsync, base.Add(1*time.Millisecond), base.Add(2*time.Millisecond))
+	tl.Close(base.Add(110 * time.Millisecond))
+
+	snap := tl.Snapshot(base.Add(5 * time.Second)) // late snapshot must use Close time
+	if got, want := snap.WallSeconds, 0.110; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("WallSeconds = %v, want %v", got, want)
+	}
+	if got, want := snap.CoreSeconds, 0.110; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CoreSeconds = %v, want %v (fsync must not count)", got, want)
+	}
+	if len(snap.Spans) != 4 {
+		t.Fatalf("Spans = %d, want 4", len(snap.Spans))
+	}
+	st, ok := snap.StageStat("queued")
+	if !ok || st.Count != 1 || math.Abs(st.Seconds-0.008) > 1e-9 || !st.Core {
+		t.Fatalf("queued stat = %+v, %v", st, ok)
+	}
+	if _, ok := snap.StageStat("artifact-commit"); ok {
+		t.Fatalf("zero-count stage must be omitted")
+	}
+	durs := snap.StageSpanSeconds("journal-fsync")
+	if len(durs) != 1 || math.Abs(durs[0]-0.001) > 1e-9 {
+		t.Fatalf("fsync spans = %v", durs)
+	}
+}
+
+func TestTimelineNegativeDurationClamped(t *testing.T) {
+	base := time.Now()
+	tl := NewTimeline(base)
+	tl.Record(StageSubmit, base.Add(time.Second), base) // end before start
+	snap := tl.Snapshot(base.Add(time.Second))
+	st, _ := snap.StageStat("submit")
+	if st.Seconds != 0 || st.Count != 1 {
+		t.Fatalf("negative span not clamped: %+v", st)
+	}
+}
+
+func TestTimelineDropsSpansPastCapButKeepsTotals(t *testing.T) {
+	base := time.Now()
+	tl := NewTimeline(base)
+	for i := 0; i < maxSpans+10; i++ {
+		tl.Record(StageStoreWrite, base, base.Add(time.Millisecond))
+	}
+	snap := tl.Snapshot(base.Add(time.Second))
+	if len(snap.Spans) != maxSpans {
+		t.Fatalf("retained spans = %d, want %d", len(snap.Spans), maxSpans)
+	}
+	if snap.DroppedSpans != 10 {
+		t.Fatalf("DroppedSpans = %d, want 10", snap.DroppedSpans)
+	}
+	st, _ := snap.StageStat("store-write")
+	if st.Count != maxSpans+10 {
+		t.Fatalf("totals must keep accumulating past the cap: count = %d", st.Count)
+	}
+}
+
+func TestTimelineNilReceiverSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Record(StageSubmit, time.Now(), time.Now())
+	tl.Close(time.Now())
+}
+
+func TestWriteChromeIsValidTrace(t *testing.T) {
+	base := time.Now()
+	tl := NewTimeline(base)
+	tl.Record(StageRunning, base, base.Add(50*time.Millisecond))
+	tl.Record(StageJournalFsync, base, base.Add(time.Millisecond))
+	snap := tl.Snapshot(base.Add(50 * time.Millisecond))
+	snap.JobID = "job-9"
+
+	var buf bytes.Buffer
+	if err := snap.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Tid  int     `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+	var xRunning, xFsync bool
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		switch ev.Name {
+		case "running":
+			xRunning = ev.Tid == tidLifecyle && ev.Dur > 0
+		case "journal-fsync":
+			xFsync = ev.Tid == tidDetail
+		}
+	}
+	if !xRunning || !xFsync {
+		t.Fatalf("missing or mis-threaded X events in %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "job-9") {
+		t.Fatalf("process name must carry the job id")
+	}
+}
+
+func TestHistBucketsAndExposition(t *testing.T) {
+	h := NewHist(0.01, 0.1, 1)
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.605) > 1e-9 {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+	var buf bytes.Buffer
+	h.WriteSeries(&buf, "x_seconds", "")
+	out := buf.String()
+	for _, want := range []string{
+		`x_seconds_bucket{le="0.01"} 1`,
+		`x_seconds_bucket{le="0.1"} 3`,
+		`x_seconds_bucket{le="1"} 4`,
+		`x_seconds_bucket{le="+Inf"} 5`,
+		`x_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	h.WriteSeries(&buf, "x_seconds", `stage="queued"`)
+	if !strings.Contains(buf.String(), `x_seconds_bucket{stage="queued",le="+Inf"} 5`) ||
+		!strings.Contains(buf.String(), `x_seconds_count{stage="queued"} 5`) {
+		t.Fatalf("labeled exposition wrong:\n%s", buf.String())
+	}
+}
+
+func TestNewHistRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("want panic on unsorted bounds")
+		}
+	}()
+	NewHist(1, 0.5)
+}
+
+func TestStageHistsWriteEmitsEveryStage(t *testing.T) {
+	s := NewStageHists()
+	s.Observe(StageRunning, 0.2)
+	var buf bytes.Buffer
+	s.Write(&buf, "dtlserved_stage_seconds")
+	out := buf.String()
+	for st := Stage(0); st < NumStages; st++ {
+		want := `stage="` + st.String() + `"`
+		if !strings.Contains(out, want) {
+			t.Errorf("family missing series for %s", st)
+		}
+	}
+	if !strings.Contains(out, "# TYPE dtlserved_stage_seconds histogram") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	if s.Count(StageRunning) != 1 || s.Count(StageQueued) != 0 {
+		t.Fatalf("Count wrong: running=%d queued=%d", s.Count(StageRunning), s.Count(StageQueued))
+	}
+}
+
+func TestTimelineRecordDoesNotAllocate(t *testing.T) {
+	base := time.Now()
+	tl := NewTimeline(base)
+	start := base.Add(time.Millisecond)
+	end := start.Add(time.Millisecond)
+	n := testing.AllocsPerRun(1000, func() {
+		tl.Record(StageRunning, start, end)
+	})
+	if n != 0 {
+		t.Fatalf("Timeline.Record allocates %v per op, want 0", n)
+	}
+}
+
+func TestHistObserveDoesNotAllocate(t *testing.T) {
+	h := NewHist(SecondsBuckets...)
+	sh := NewStageHists()
+	n := testing.AllocsPerRun(1000, func() {
+		h.Observe(0.42)
+		sh.Observe(StageQueued, 0.001)
+	})
+	if n != 0 {
+		t.Fatalf("Observe allocates %v per op, want 0", n)
+	}
+}
+
+// BenchmarkTimelineRecord measures the serving hot path: one span recorded
+// on the job timeline plus the matching stage-histogram observation. Gated
+// at 3x by scripts/bench_check.sh via BENCH_seed.json.
+func BenchmarkTimelineRecord(b *testing.B) {
+	tl := NewTimeline(time.Now())
+	sh := NewStageHists()
+	start := time.Now()
+	end := start.Add(time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Record(StageRunning, start, end)
+		sh.Observe(StageRunning, 0.001)
+	}
+}

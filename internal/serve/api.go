@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"dtl/internal/experiments"
 	"dtl/internal/telemetry"
@@ -70,14 +72,20 @@ type DiffResponse struct {
 //	GET  /metrics                       Prometheus text exposition
 //	GET  /v1/experiments                runnable experiment ids
 //	POST /v1/jobs                       submit (202; 400/429/503 on reject)
-//	GET  /v1/jobs                       list in submission order
-//	GET  /v1/jobs/{id}                  status
+//	GET  /v1/jobs                       list in submission order; ?state=
+//	                                    filters by lifecycle state
+//	GET  /v1/jobs/{id}                  status (includes the wall-clock timeline)
 //	POST /v1/jobs/{id}/cancel           cancel a running job
 //	GET  /v1/jobs/{id}/stream           live snapshots (NDJSON, or SSE when
 //	                                    the client sends Accept: text/event-stream)
+//	GET  /v1/jobs/{id}/timeline         wall-clock span timeline; ?format=chrome
+//	                                    renders a Chrome trace-event file
 //	GET  /v1/jobs/{id}/artifacts        list artifacts of a done job
 //	GET  /v1/jobs/{id}/artifacts/{name} fetch one artifact's bytes
 //	POST /v1/diff                       gate job B's trace against job A's
+//
+// When Config.EnablePprof is set, net/http/pprof is mounted under
+// /debug/pprof for live profiling.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -93,7 +101,25 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Jobs())
+		all := s.Jobs()
+		q := r.URL.Query().Get("state")
+		if q == "" {
+			writeJSON(w, http.StatusOK, all)
+			return
+		}
+		switch st := State(q); st {
+		case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+			out := make([]JobStatus, 0, len(all))
+			for _, j := range all {
+				if j.State == st {
+					out = append(out, j)
+				}
+			}
+			writeJSON(w, http.StatusOK, out)
+		default:
+			writeError(w, http.StatusBadRequest,
+				"unknown state %q (want queued, running, done, failed or canceled)", q)
+		}
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := s.Job(r.PathValue("id"))
@@ -116,6 +142,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "cancel requested"})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifacts", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := s.Job(r.PathValue("id"))
 		if !ok {
@@ -130,7 +157,38 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
 	mux.HandleFunc("POST /v1/diff", s.handleDiff)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleTimeline serves a job's wall-clock timeline at any lifecycle state —
+// a queued or running job reports its spans so far. ?format=chrome returns a
+// Chrome trace-event file that opens in the same viewer as the job's
+// virtual-time trace artifact.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	snap := j.timeline.Snapshot(time.Now())
+	snap.JobID = j.id
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+		writeJSON(w, http.StatusOK, snap)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		snap.WriteChrome(w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown timeline format %q (want json or chrome)", f)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"dtl/internal/experiments"
+	"dtl/internal/obs"
 	"dtl/internal/telemetry"
 )
 
@@ -22,17 +24,22 @@ import (
 //	metrics.csv    the sampled metrics registry
 //	ledger.json    the (vm, rank, cause) attribution cost ledger
 //	summary.json   telemetry.TraceSummary of the trace (the diff input)
+//	timeline.json  the job's wall-clock span log (obs.TimelineSnapshot)
 //
 // JSON artifacts are marshaled with sorted map keys (encoding/json's map
 // ordering), so identical runs yield identical bytes and therefore identical
-// store digests.
+// store digests. timeline.json is the one deliberate exception: it records
+// wall-clock measurements, so its bytes differ across otherwise identical
+// runs — determinism gates compare digests excluding that name.
 func (s *Server) ingestArtifacts(j *job, work string, report []byte, res experiments.Result) ([]ArtifactInfo, error) {
 	var arts []ArtifactInfo
 	putBytes := func(name string, b []byte) error {
+		t0 := time.Now()
 		digest, size, err := s.store.PutBytes(b)
 		if err != nil {
 			return fmt.Errorf("serve: storing %s: %w", name, err)
 		}
+		s.stage(j, obs.StageStoreWrite, t0, time.Now())
 		arts = append(arts, ArtifactInfo{Name: name, Digest: digest, Size: size})
 		return nil
 	}
@@ -54,10 +61,12 @@ func (s *Server) ingestArtifacts(j *job, work string, report []byte, res experim
 		if _, err := os.Stat(path); err != nil {
 			continue // the experiment does not drive this sink
 		}
+		t0 := time.Now()
 		digest, size, err := s.store.PutFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("serve: storing %s: %w", name, err)
 		}
+		s.stage(j, obs.StageStoreWrite, t0, time.Now())
 		arts = append(arts, ArtifactInfo{Name: name, Digest: digest, Size: size})
 	}
 
@@ -69,6 +78,20 @@ func (s *Server) ingestArtifacts(j *job, work string, report []byte, res experim
 		if err := putBytes("summary.json", append(sumJSON, '\n')); err != nil {
 			return nil, err
 		}
+	}
+
+	// timeline.json: the wall-clock span log accumulated so far. It is
+	// written mid artifact-commit by necessity, so its own commit span is
+	// absent from the artifact; the complete timeline (including
+	// artifact-commit) lives in the job status and GET /v1/jobs/{id}/timeline.
+	snap := j.timeline.Snapshot(time.Now())
+	snap.JobID = j.id
+	tlJSON, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := putBytes("timeline.json", append(tlJSON, '\n')); err != nil {
+		return nil, err
 	}
 	return arts, nil
 }

@@ -97,9 +97,16 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 }
 
 // breakerAllow gates the single-attempt endpoints (Stream, Artifact) on the
-// shared circuit breaker; a nil retrier always allows.
+// shared circuit breaker; a nil retrier always allows. Transitions reach
+// OnEvent here too, so a half-open probe admitted through Stream is
+// observable like one admitted through the retry loop.
 func (c *Client) breakerAllow() error {
-	if c.retry != nil && !c.retry.breaker.allow() {
+	if c.retry == nil {
+		return nil
+	}
+	ok, tr := c.retry.breaker.allow()
+	c.retry.emit(tr, 0, 0, nil)
+	if !ok {
 		return ErrBreakerOpen
 	}
 	return nil
@@ -108,7 +115,8 @@ func (c *Client) breakerAllow() error {
 // breakerRecord feeds a single-attempt endpoint's outcome to the breaker.
 func (c *Client) breakerRecord(err error) {
 	if c.retry != nil {
-		c.retry.breaker.record(!countsAsBreakerFailure(err))
+		tr := c.retry.breaker.record(!countsAsBreakerFailure(err))
+		c.retry.emit(tr, 0, 0, err)
 	}
 }
 

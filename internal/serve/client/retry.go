@@ -42,7 +42,35 @@ type RetryPolicy struct {
 	// OnRetry, when set, observes each scheduled retry (attempt is 1-based:
 	// the attempt that just failed).
 	OnRetry func(attempt int, delay time.Duration, err error)
+	// OnEvent, when set, observes retry scheduling and circuit-breaker state
+	// transitions — the hook a structured logger or metrics counter hangs
+	// off. It is invoked synchronously but never while internal locks are
+	// held, so the callback may call back into the client. Unset costs one
+	// nil check per transition and allocates nothing.
+	OnEvent func(RetryEvent)
 }
+
+// RetryEvent is one hardened-transport transition delivered to OnEvent.
+type RetryEvent struct {
+	// Kind is one of EventRetry, EventBreakerOpen, EventBreakerHalfOpen,
+	// EventBreakerClose.
+	Kind string
+	// Attempt is the 1-based attempt that just failed (EventRetry only).
+	Attempt int
+	// Delay is the scheduled backoff before the next attempt (EventRetry).
+	Delay time.Duration
+	// Err is the error that caused the transition; nil for
+	// EventBreakerHalfOpen and EventBreakerClose.
+	Err error
+}
+
+// RetryEvent kinds.
+const (
+	EventRetry           = "retry"             // a retry was scheduled
+	EventBreakerOpen     = "breaker-open"      // failure streak tripped the breaker
+	EventBreakerHalfOpen = "breaker-half-open" // cooldown elapsed; probe admitted
+	EventBreakerClose    = "breaker-close"     // probe (or any call) succeeded
+)
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxAttempts <= 0 {
@@ -121,14 +149,17 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 func (r *retrier) run(ctx context.Context, attempt func() error) error {
 	var lastErr error
 	for a := 0; a < r.policy.MaxAttempts; a++ {
-		if !r.breaker.allow() {
+		allowed, tr := r.breaker.allow()
+		r.emit(tr, 0, 0, nil)
+		if !allowed {
 			if lastErr != nil {
 				return fmt.Errorf("%w (last error: %v)", ErrBreakerOpen, lastErr)
 			}
 			return ErrBreakerOpen
 		}
 		err := attempt()
-		r.breaker.record(!countsAsBreakerFailure(err))
+		tr = r.breaker.record(!countsAsBreakerFailure(err))
+		r.emit(tr, 0, 0, err)
 		if err == nil {
 			return nil
 		}
@@ -143,11 +174,28 @@ func (r *retrier) run(ctx context.Context, attempt func() error) error {
 		if r.policy.OnRetry != nil {
 			r.policy.OnRetry(a+1, delay, err)
 		}
+		r.emit(EventRetry, a+1, delay, err)
 		if serr := r.sleep(ctx, delay); serr != nil {
 			return fmt.Errorf("%v (retry canceled: %w)", lastErr, serr)
 		}
 	}
 	return lastErr
+}
+
+// emit delivers one transition to OnEvent. The nil checks come first so an
+// unset hook costs no allocation: the RetryEvent literal is only built when
+// there is both a hook and a transition. Breaker transitions are reported
+// from here — after allow/record released the breaker mutex — so the
+// callback can safely re-enter the client.
+func (r *retrier) emit(kind string, attempt int, delay time.Duration, err error) {
+	if r.policy.OnEvent == nil || kind == "" {
+		return
+	}
+	ev := RetryEvent{Kind: kind, Attempt: attempt, Delay: delay}
+	if kind == EventRetry || kind == EventBreakerOpen {
+		ev.Err = err
+	}
+	r.policy.OnEvent(ev)
 }
 
 // backoff draws the full-jitter delay for 0-based attempt a: uniform in
@@ -230,36 +278,47 @@ type breaker struct {
 }
 
 // allow reports whether a call may proceed, transitioning open → half-open
-// when the cooldown has elapsed (the caller becomes the probe).
-func (b *breaker) allow() bool {
+// when the cooldown has elapsed (the caller becomes the probe). The second
+// return is the transition kind for OnEvent ("" = none); it is returned
+// rather than delivered here so the hook runs outside b.mu.
+func (b *breaker) allow() (ok bool, transition string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case bkClosed:
-		return true
+		return true, ""
 	case bkOpen:
 		if b.now().Sub(b.openedAt) >= b.cooldown {
 			b.state = bkHalfOpen
-			return true
+			return true, EventBreakerHalfOpen
 		}
-		return false
+		return false, ""
 	default: // half-open: a probe is already in flight
-		return false
+		return false, ""
 	}
 }
 
-// record feeds one attempt's outcome into the state machine.
-func (b *breaker) record(ok bool) {
+// record feeds one attempt's outcome into the state machine and returns the
+// transition kind for OnEvent ("" = none), delivered by the caller outside
+// b.mu.
+func (b *breaker) record(ok bool) (transition string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if ok {
+		if b.state != bkClosed {
+			transition = EventBreakerClose
+		}
 		b.state = bkClosed
 		b.fails = 0
-		return
+		return transition
 	}
 	b.fails++
 	if b.state == bkHalfOpen || b.fails >= b.threshold {
+		if b.state != bkOpen {
+			transition = EventBreakerOpen
+		}
 		b.state = bkOpen
 		b.openedAt = b.now()
 	}
+	return transition
 }

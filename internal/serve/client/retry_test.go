@@ -248,6 +248,89 @@ func TestStreamAndArtifactRespectOpenBreaker(t *testing.T) {
 	}
 }
 
+func TestOnEventObservesRetriesAndBreakerLifecycle(t *testing.T) {
+	var calls atomic.Int64
+	var healthy atomic.Bool
+	p := RetryPolicy{MaxAttempts: 2, BreakerThreshold: 2, BreakerCooldown: 10 * time.Second}
+	var events []RetryEvent
+	p.OnEvent = func(ev RetryEvent) { events = append(events, ev) }
+	c, _, clk := harness(t, p, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if healthy.Load() {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		answer(http.StatusInternalServerError, nil)(w, r)
+	})
+	ctx := context.Background()
+
+	// One failing call: attempt 1 fails (retry event), attempt 2 fails and
+	// trips the threshold-2 breaker (open event).
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("expected failure")
+	}
+	kinds := func() []string {
+		var k []string
+		for _, ev := range events {
+			k = append(k, ev.Kind)
+		}
+		return k
+	}
+	want := []string{EventRetry, EventBreakerOpen}
+	if got := kinds(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("events after failing call = %v, want %v", got, want)
+	}
+	if events[0].Attempt != 1 || events[0].Err == nil {
+		t.Fatalf("retry event = %+v, want attempt 1 with an error", events[0])
+	}
+	if events[1].Err == nil {
+		t.Fatalf("breaker-open event carries no error: %+v", events[1])
+	}
+
+	// Cooldown elapses, the server has recovered: half-open probe admitted,
+	// then the breaker closes on its success.
+	events = nil
+	healthy.Store(true)
+	clk.advance(11 * time.Second)
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("recovered probe: %v", err)
+	}
+	want = []string{EventBreakerHalfOpen, EventBreakerClose}
+	if got := kinds(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("events after recovery = %v, want %v", got, want)
+	}
+	for _, ev := range events {
+		if ev.Err != nil {
+			t.Fatalf("%s event carries an error: %v", ev.Kind, ev.Err)
+		}
+	}
+
+	// Steady-state success emits nothing.
+	events = nil
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("steady state: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("steady-state success emitted %v", events)
+	}
+}
+
+func TestOnEventUnsetAddsNoAllocations(t *testing.T) {
+	r := newRetrier(RetryPolicy{})
+	allocs := testing.AllocsPerRun(1000, func() {
+		ok, tr := r.breaker.allow()
+		r.emit(tr, 0, 0, nil)
+		if !ok {
+			t.Fatal("closed breaker refused a call")
+		}
+		tr = r.breaker.record(true)
+		r.emit(tr, 0, 0, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("unset OnEvent path allocates %.1f per op, want 0", allocs)
+	}
+}
+
 func TestTransportErrorsRetry(t *testing.T) {
 	// A server that is immediately closed: every dial fails at the socket.
 	srv := httptest.NewServer(http.NotFoundHandler())

@@ -11,6 +11,7 @@ import (
 
 	"dtl/internal/experiments"
 	"dtl/internal/fault"
+	"dtl/internal/obs"
 	"dtl/internal/telemetry"
 )
 
@@ -158,6 +159,10 @@ type JobStatus struct {
 	Snapshots   int64               `json:"snapshots"`
 	Artifacts   []ArtifactInfo      `json:"artifacts,omitempty"`
 	Result      *experiments.Result `json:"result,omitempty"`
+	// Timeline is the job's wall-clock span accounting: where the real
+	// seconds went (queue wait, engine, journal fsync, artifact commit) —
+	// distinct from the virtual-time attribution in ledger.json.
+	Timeline *obs.TimelineSnapshot `json:"timeline,omitempty"`
 }
 
 // job is the server-side state of one submitted run. The publisher side
@@ -167,6 +172,13 @@ type job struct {
 	id     string
 	spec   JobSpec
 	digest string // canonical spec digest; the result-cache key
+
+	// timeline accumulates wall-clock spans; it has its own lock and never
+	// takes j.mu, so it is safe to touch under either lock or none.
+	timeline *obs.Timeline
+	// enqueued is when the job entered the admission queue (set by Submit,
+	// or by recovery for re-enqueued jobs); the queued span's start.
+	enqueued time.Time
 
 	mu        sync.Mutex
 	state     State
@@ -189,6 +201,8 @@ func newJob(id string, spec JobSpec, digest string, now time.Time) *job {
 		id:        id,
 		spec:      spec,
 		digest:    digest,
+		timeline:  obs.NewTimeline(now),
+		enqueued:  now,
 		state:     StateQueued,
 		submitted: now,
 		subs:      map[chan experiments.WatchSnapshot]struct{}{},
@@ -225,6 +239,7 @@ func (j *job) finish(state State, errMsg string, res *experiments.Result, arts [
 	j.finished = now
 	j.cancel = nil
 	j.mu.Unlock()
+	j.timeline.Close(now)
 	close(j.done)
 	return true
 }
@@ -311,6 +326,9 @@ func (j *job) status() JobStatus {
 		t := j.finished
 		st.FinishedAt = &t
 	}
+	snap := j.timeline.Snapshot(time.Now())
+	snap.JobID = j.id
+	st.Timeline = &snap
 	return st
 }
 

@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrKilled is returned by Append after Kill: the journal simulates a
@@ -73,6 +74,12 @@ type Journal struct {
 	// Hook, when non-nil, may mutate (typically truncate) the framed bytes
 	// of each append. Set once, before concurrent use.
 	Hook WriteHook
+
+	// OnSync, when non-nil, observes the wall-clock duration of each
+	// append's fsync — the observability plane feeds it into the
+	// journal-fsync latency histogram. Set once, before concurrent use; a
+	// nil hook costs one branch.
+	OnSync func(d time.Duration)
 }
 
 // Open replays the log at path (creating it if absent) and opens it for
@@ -175,7 +182,15 @@ func (j *Journal) Append(payload []byte) error {
 	if _, err := j.f.Write(frame); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
-	if err := j.f.Sync(); err != nil {
+	var syncStart time.Time
+	if j.OnSync != nil {
+		syncStart = time.Now()
+	}
+	err := j.f.Sync()
+	if j.OnSync != nil {
+		j.OnSync(time.Since(syncStart))
+	}
+	if err != nil {
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
 	return nil

@@ -9,14 +9,16 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dtl/internal/metrics"
+	"dtl/internal/obs"
 	"dtl/internal/serve/chaos"
 	"dtl/internal/telemetry"
 )
 
 // serverMetrics backs GET /metrics: queue and worker gauges, admission and
-// completion counters, and job-latency percentiles over a sliding window of
-// recent jobs, rendered in the Prometheus text exposition format.
+// completion counters, and the wall-clock histogram family — per-stage job
+// latency (dtlserved_stage_seconds{stage=...}), end-to-end job duration,
+// journal fsync latency, and store write latency/size — rendered in the
+// Prometheus text exposition format.
 type serverMetrics struct {
 	submitted     atomic.Int64
 	queueRejected atomic.Int64 // 429s
@@ -32,11 +34,28 @@ type serverMetrics struct {
 	coalesced     atomic.Int64 // submissions merged onto an in-flight twin
 	journalErrors atomic.Int64 // write-ahead appends that failed
 
-	mu        sync.Mutex
-	durations []float64 // seconds, newest last, capped
+	// Wall-clock histograms (the obs plane). Built by init before any
+	// observation; Observe is lock-free and zero-alloc.
+	stageHist *obs.StageHists
+	jobDur    *obs.Hist
+	fsyncHist *obs.Hist
+	storeLat  *obs.Hist
+	storeSize *obs.Hist
+
+	mu sync.Mutex
 	// attr accumulates the per-cause attribution totals of every done job's
 	// cost ledger (virtual-time nanoseconds and energy-proxy units).
 	attr map[string]attrTotal
+}
+
+// init builds the histogram family. Called once from New, before workers
+// start.
+func (m *serverMetrics) init() {
+	m.stageHist = obs.NewStageHists()
+	m.jobDur = obs.NewHist(obs.SecondsBuckets...)
+	m.fsyncHist = obs.NewHist(obs.FsyncBuckets...)
+	m.storeLat = obs.NewHist(obs.FsyncBuckets...)
+	m.storeSize = obs.NewHist(obs.BytesBuckets...)
 }
 
 // attrTotal is one cause's accumulated attribution cost across done jobs.
@@ -71,10 +90,6 @@ func (m *serverMetrics) addLedger(path string) {
 	}
 }
 
-// durationWindow bounds the latency sample; old jobs age out so the
-// percentiles track current behavior.
-const durationWindow = 512
-
 func (m *serverMetrics) finished(state State, d time.Duration) {
 	switch state {
 	case StateDone:
@@ -84,12 +99,7 @@ func (m *serverMetrics) finished(state State, d time.Duration) {
 	case StateCanceled:
 		m.canceled.Add(1)
 	}
-	m.mu.Lock()
-	m.durations = append(m.durations, d.Seconds())
-	if len(m.durations) > durationWindow {
-		m.durations = m.durations[len(m.durations)-durationWindow:]
-	}
-	m.mu.Unlock()
+	m.jobDur.Observe(d.Seconds())
 }
 
 // metricsView carries the server-owned state the exposition samples at
@@ -149,7 +159,6 @@ func (m *serverMetrics) writeMetrics(w io.Writer, v metricsView) {
 	}
 
 	m.mu.Lock()
-	durs := append([]float64(nil), m.durations...)
 	causes := make([]string, 0, len(m.attr))
 	for c := range m.attr {
 		causes = append(causes, c)
@@ -179,13 +188,13 @@ func (m *serverMetrics) writeMetrics(w io.Writer, v metricsView) {
 			fmt.Fprintf(w, "dtlserved_attr_energy_total{cause=%q} %g\n", a.cause, a.t.energy)
 		}
 	}
-	fmt.Fprintf(w, "# HELP dtlserved_job_duration_seconds Wall-clock job latency (recent-window percentiles).\n")
-	fmt.Fprintf(w, "# TYPE dtlserved_job_duration_seconds summary\n")
-	if len(durs) > 0 {
-		sum := metrics.Summarize(durs)
-		fmt.Fprintf(w, "dtlserved_job_duration_seconds{quantile=\"0.5\"} %g\n", sum.P50)
-		fmt.Fprintf(w, "dtlserved_job_duration_seconds{quantile=\"0.95\"} %g\n", sum.P95)
-		fmt.Fprintf(w, "dtlserved_job_duration_seconds{quantile=\"0.99\"} %g\n", sum.P99)
+	m.stageHist.Write(w, "dtlserved_stage_seconds")
+	histogram := func(h *obs.Hist, name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		h.WriteSeries(w, name, "")
 	}
-	fmt.Fprintf(w, "dtlserved_job_duration_seconds_count %d\n", len(durs))
+	histogram(m.jobDur, "dtlserved_job_duration_seconds", "End-to-end wall-clock job latency.")
+	histogram(m.fsyncHist, "dtlserved_journal_fsync_seconds", "Journal append fsync latency.")
+	histogram(m.storeLat, "dtlserved_store_write_seconds", "Artifact store object write latency.")
+	histogram(m.storeSize, "dtlserved_store_write_bytes", "Artifact store object write size.")
 }

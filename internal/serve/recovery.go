@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dtl/internal/experiments"
+	"dtl/internal/obs"
 	"dtl/internal/serve/journal"
 )
 
@@ -81,6 +82,7 @@ func (s *Server) Recovery() RecoveryStats { return s.recovery }
 // and returns the jobs that must be re-enqueued (in submission order). It
 // runs during New, before workers start, so no locking is needed.
 func (s *Server) recoverJournal() ([]*job, error) {
+	replayStart := time.Now()
 	path := s.JournalPath()
 	payloads, stats, err := journal.Replay(path)
 	if err != nil {
@@ -188,6 +190,27 @@ func (s *Server) recoverJournal() ([]*job, error) {
 	if err := s.compactJournal(); err != nil {
 		return nil, err
 	}
+
+	// Every recovered job carries a recovery-replay span covering the
+	// replay window it passed through, and re-enqueued jobs restart their
+	// queue clock now — their pre-crash queue wait is unobservable.
+	replayEnd := time.Now()
+	for _, id := range s.order {
+		s.stage(s.jobs[id], obs.StageRecoveryReplay, replayStart, replayEnd)
+	}
+	for _, j := range reenqueue {
+		j.enqueued = replayEnd
+	}
+	if len(s.order) > 0 || s.recovery.CorruptRecords > 0 {
+		s.log.Info("journal recovery complete",
+			obs.KeyStage, obs.StageRecoveryReplay.String(),
+			"restored", s.recovery.Restored,
+			"reenqueued", s.recovery.Reenqueued,
+			"poisoned", s.recovery.Poisoned,
+			"corrupt_records", s.recovery.CorruptRecords,
+			"torn_tail", s.recovery.TornTail,
+			"duration", replayEnd.Sub(replayStart))
+	}
 	return reenqueue, nil
 }
 
@@ -248,16 +271,24 @@ func idSeq(id string) int {
 	return n
 }
 
-// appendWAL marshals and appends one journal record. Append failures are
-// counted but do not fail the job: the in-memory run proceeds and only its
-// durability is lost (the operator sees dtlserved_journal_errors_total).
-func (s *Server) appendWAL(rec walRecord) error {
+// appendWAL marshals and appends one journal record, charging the append's
+// wall-clock cost to j's journal-fsync span (j may be nil for records with
+// no owning job). Append failures are counted but do not fail the job: the
+// in-memory run proceeds and only its durability is lost (the operator sees
+// dtlserved_journal_errors_total).
+func (s *Server) appendWAL(j *job, rec walRecord) error {
+	t0 := time.Now()
 	b, err := json.Marshal(rec)
 	if err == nil {
 		err = s.journal.Append(b)
 	}
+	if j != nil {
+		s.stage(j, obs.StageJournalFsync, t0, time.Now())
+	}
 	if err != nil {
 		s.met.journalErrors.Add(1)
+		s.log.Warn("journal append failed", obs.KeyJob, rec.ID,
+			obs.KeyStage, obs.StageJournalFsync.String(), "type", rec.Type, "err", err)
 	}
 	return err
 }

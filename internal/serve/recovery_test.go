@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"dtl/internal/obs"
 	"dtl/internal/serve"
 	"dtl/internal/serve/chaos"
 	"dtl/internal/serve/journal"
@@ -50,9 +51,14 @@ func waitCrashed(t *testing.T, srv *serve.Server) {
 }
 
 // digestsOf maps artifact name -> object digest for byte-identity checks.
+// timeline.json is excluded: it records wall-clock measurements, so its
+// bytes legitimately differ across runs of an identical spec.
 func digestsOf(st serve.JobStatus) map[string]string {
 	out := map[string]string{}
 	for _, a := range st.Artifacts {
+		if a.Name == "timeline.json" {
+			continue
+		}
 		out[a.Name] = a.Digest
 	}
 	return out
@@ -322,6 +328,76 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 				t.Fatalf("compacted journal has %d records, want 2", len(payloads))
 			}
 		})
+	}
+}
+
+// A crash/restart cycle must be observable after the fact: every recovered
+// job carries a recovery-replay span in its wall-clock timeline, and the
+// per-stage histogram on /metrics counts the replay.
+func TestRecoveryEmitsReplaySpansAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	spec := serve.JobSpec{Experiment: "fig12", Quick: true}
+	crashed, err := serve.New(serve.Config{
+		Workers:  1,
+		StoreDir: dir,
+		Chaos:    chaos.MustParse("seed=1;crash-commit=1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := crashed.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCrashed(t, crashed)
+
+	// Restart over HTTP so the stage histogram is scrapable.
+	successor, c := newServer(t, serve.Config{Workers: 1, StoreDir: dir})
+	fin := waitTerminal(t, successor, sub.ID)
+	if fin.State != serve.StateDone {
+		t.Fatalf("recovered job finished %s (%s)", fin.State, fin.Error)
+	}
+	if fin.Timeline == nil {
+		t.Fatal("recovered job status has no timeline")
+	}
+	var replay *obs.StageStat
+	for i, st := range fin.Timeline.Stages {
+		if st.Stage == "recovery-replay" {
+			replay = &fin.Timeline.Stages[i]
+		}
+	}
+	if replay == nil {
+		t.Fatalf("recovered job timeline has no recovery-replay stage: %+v", fin.Timeline.Stages)
+	}
+	if replay.Count < 1 || replay.Core {
+		t.Fatalf("recovery-replay stat = %+v, want count >= 1 and non-core", replay)
+	}
+	spans := 0
+	for _, sp := range fin.Timeline.Spans {
+		if sp.Stage == "recovery-replay" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("recovered job timeline has no recovery-replay span")
+	}
+	if got := metricValue(t, c.BaseURL(), `dtlserved_stage_seconds_count{stage="recovery-replay"}`); got < 1 {
+		t.Fatalf("stage_seconds_count{recovery-replay} = %v, want >= 1", got)
+	}
+
+	// A job born after the restart must not be charged for the replay.
+	fresh, err := successor.Submit(serve.JobSpec{Experiment: "fig12", Quick: true, Force: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fst := waitTerminal(t, successor, fresh.ID)
+	if fst.Timeline == nil {
+		t.Fatal("fresh job has no timeline")
+	}
+	for _, st := range fst.Timeline.Stages {
+		if st.Stage == "recovery-replay" {
+			t.Fatalf("fresh job carries a recovery-replay stage: %+v", st)
+		}
 	}
 }
 

@@ -30,12 +30,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"dtl/internal/experiments"
+	"dtl/internal/obs"
 	"dtl/internal/serve/chaos"
 	"dtl/internal/serve/journal"
 	"dtl/internal/telemetry"
@@ -70,6 +72,15 @@ type Config struct {
 	// so changing the server defaults never invalidates the result cache.
 	DefaultParallel int
 	DefaultShards   int
+	// Logger receives the daemon's structured wall-clock records (job
+	// lifecycle, rejections, recovery, chaos, drain); every job-scoped
+	// record carries job_id, spec_digest, and stage attributes. Nil
+	// discards everything.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof on Handler.
+	// Off by default: profiling endpoints expose heap contents and must be
+	// opted into per deployment (dtlserved -pprof).
+	EnablePprof bool
 }
 
 // defaultInt returns v, or def when v is 0 (the "unset" JSON value).
@@ -87,6 +98,7 @@ type Server struct {
 	store    *Store
 	journal  *journal.Journal
 	chaos    *chaos.Harness
+	log      *slog.Logger
 	met      serverMetrics
 	recovery RecoveryStats
 
@@ -143,9 +155,18 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		store:    store,
 		chaos:    cfg.Chaos,
+		log:      cfg.Logger,
 		jobs:     map[string]*job{},
 		byDigest: map[string]string{},
 	}
+	if s.log == nil {
+		s.log = obs.Nop()
+	}
+	s.met.init()
+	store.SetObserver(func(d time.Duration, size int64) {
+		s.met.storeLat.Observe(d.Seconds())
+		s.met.storeSize.Observe(float64(size))
+	})
 	reenqueue, err := s.recoverJournal()
 	if err != nil {
 		return nil, err
@@ -157,6 +178,7 @@ func New(cfg Config) (*Server, error) {
 	if s.chaos.Enabled() {
 		jr.Hook = s.chaos.JournalHook
 	}
+	jr.OnSync = func(d time.Duration) { s.met.fsyncHist.Observe(d.Seconds()) }
 	s.journal = jr
 	// Recovered jobs ride ahead of the regular queue capacity so a full
 	// crash-time queue re-enqueues without tripping admission control.
@@ -192,8 +214,10 @@ func (s *Server) Draining() bool {
 // its status. Failed and canceled jobs never satisfy the cache — resubmitting
 // is the retry path.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	t0 := time.Now()
 	spec, err := spec.normalized()
 	if err != nil {
+		s.log.Warn("job rejected: invalid spec", "err", err)
 		return JobStatus{}, err
 	}
 	digest := spec.digest()
@@ -201,10 +225,12 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	defer s.mu.Unlock()
 	if s.crashed {
 		s.met.drainRejected.Add(1)
+		s.log.Warn("job rejected: server crashed", obs.KeyDigest, digest)
 		return JobStatus{}, ErrCrashed
 	}
 	if s.draining {
 		s.met.drainRejected.Add(1)
+		s.log.Warn("job rejected: draining", obs.KeyDigest, digest)
 		return JobStatus{}, ErrDraining
 	}
 	if !spec.Force {
@@ -213,9 +239,13 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 			switch {
 			case st.State == StateDone:
 				s.met.cacheHits.Add(1)
+				s.log.Info("result cache hit", obs.KeyJob, prev.id, obs.KeyDigest, digest,
+					obs.KeyStage, obs.StageSubmit.String())
 				return st, nil
 			case !st.State.Terminal():
 				s.met.coalesced.Add(1)
+				s.log.Info("coalesced onto in-flight job", obs.KeyJob, prev.id, obs.KeyDigest, digest,
+					obs.KeyStage, obs.StageSubmit.String())
 				return st, nil
 			}
 			// failed or canceled: fall through to a fresh run
@@ -227,24 +257,53 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	// orphaned submitted record that recovery would wrongly re-enqueue.)
 	if len(s.queue) == cap(s.queue) {
 		s.met.queueRejected.Add(1)
+		s.log.Warn("job rejected: queue full", obs.KeyDigest, digest)
 		return JobStatus{}, ErrQueueFull
 	}
 	s.seq++
-	j := newJob(fmt.Sprintf("j%06d", s.seq), spec, digest, time.Now())
+	j := newJob(fmt.Sprintf("j%06d", s.seq), spec, digest, t0)
 	// Write-ahead: the job becomes durable before it becomes visible, so a
 	// crash after Submit returns can never lose it.
-	if err := s.appendWAL(walRecord{
+	tAppend := time.Now()
+	if err := s.appendWAL(j, walRecord{
 		Type: "submitted", ID: j.id, Time: j.submitted, Spec: &j.spec, Digest: digest,
 	}); err != nil {
 		s.seq-- // the id was never issued
+		s.log.Error("journal append failed; rejecting job", obs.KeyJob, j.id, obs.KeyDigest, digest,
+			obs.KeyStage, obs.StageJournalAppend.String(), "err", err)
 		return JobStatus{}, fmt.Errorf("%w: %v", ErrJournal, err)
 	}
+	now := time.Now()
+	s.stage(j, obs.StageSubmit, t0, tAppend)
+	s.stage(j, obs.StageJournalAppend, tAppend, now)
+	j.enqueued = now
 	s.queue <- j
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.byDigest[digest] = j.id
 	s.met.submitted.Add(1)
+	s.log.Info("job submitted", obs.KeyJob, j.id, obs.KeyDigest, digest,
+		obs.KeyStage, obs.StageQueued.String(), "experiment", spec.Experiment, "seed", spec.Seed)
 	return j.status(), nil
+}
+
+// stage records one wall-clock span on the job's timeline and in the
+// per-stage latency histogram.
+func (s *Server) stage(j *job, st obs.Stage, start, end time.Time) {
+	j.timeline.Record(st, start, end)
+	d := end.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	s.met.stageHist.Observe(st, d.Seconds())
+}
+
+// chaosSpan marks a delivered chaos injection on the job's timeline and in
+// the log, so "which injections hit this job" is answerable from either.
+func (s *Server) chaosSpan(j *job, kind string, at time.Time) {
+	s.stage(j, obs.StageChaosInject, at, time.Now())
+	s.log.Warn("chaos injection", obs.KeyJob, j.id, obs.KeyDigest, j.digest,
+		obs.KeyStage, obs.StageChaosInject.String(), "kind", kind)
 }
 
 // Job looks up a job by id.
@@ -306,6 +365,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			s.queueClosed = true
 			close(s.queue)
 		}
+		s.log.Info("drain started", "queued", len(s.queue))
 	}
 	s.mu.Unlock()
 
@@ -331,7 +391,17 @@ func (s *Server) Drain(ctx context.Context) error {
 	// Workers are idle; no appends can race the close. (After a chaos hard
 	// stop the journal is already dead and Close is a harmless no-op error.)
 	_ = s.journal.Close()
+	s.log.Info("drain complete; journal closed", "err", errStr(err))
 	return err
+}
+
+// errStr renders an error for a log attribute without a nil-vs-empty branch
+// at every call site.
+func errStr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // Crashed reports whether a chaos crash point hard-stopped the server.
@@ -357,6 +427,9 @@ func (s *Server) hardStop() {
 		close(s.queue)
 	}
 	s.mu.Unlock()
+	if first {
+		s.log.Error("chaos crash point hard-stopped the server; journal killed")
+	}
 	if first && s.cfg.OnCrash != nil {
 		s.cfg.OnCrash()
 	}
@@ -389,7 +462,9 @@ func (s *Server) safeRun(j *job) {
 			msg := fmt.Sprintf("worker panicked: %v", rec)
 			if j.finish(StateFailed, msg, nil, nil, now) {
 				s.met.finished(StateFailed, now.Sub(j.submitted))
-				s.appendWAL(walRecord{Type: "finished", ID: j.id, Time: now, State: StateFailed, Error: msg})
+				s.log.Error("worker panicked; job failed", obs.KeyJob, j.id, obs.KeyDigest, j.digest,
+					obs.KeyStage, obs.StageRunning.String(), "panic", fmt.Sprint(rec))
+				s.appendWAL(j, walRecord{Type: "finished", ID: j.id, Time: now, State: StateFailed, Error: msg})
 			}
 		}
 	}()
@@ -414,31 +489,45 @@ func (s *Server) run(j *job) {
 	}
 	defer cancel()
 	start := time.Now()
+	s.stage(j, obs.StageQueued, j.enqueued, start)
 	j.start(cancel, start)
-	s.appendWAL(walRecord{Type: "started", ID: j.id, Time: start})
+	s.log.Info("job started", obs.KeyJob, j.id, obs.KeyDigest, j.digest,
+		obs.KeyStage, obs.StageRunning.String(), "experiment", j.spec.Experiment)
+	s.appendWAL(j, walRecord{Type: "started", ID: j.id, Time: start})
 	if s.chaos.CrashNow(chaos.CrashStart) {
+		s.chaosSpan(j, "crash-start", start)
 		s.hardStop()
 		return
 	}
 	if s.chaos.WorkerPanic() {
+		s.chaosSpan(j, "worker-panic", start)
 		// Escapes to safeRun's recover: the worker-pool containment path is
 		// the one being exercised, not the experiment-level recover below.
 		panic(fmt.Errorf("%w: worker panic", chaos.ErrInjected))
 	}
 
-	finish := func(state State, errMsg string, res *experiments.Result, arts []ArtifactInfo) {
-		now := time.Now()
+	finishAt := func(state State, errMsg string, res *experiments.Result, arts []ArtifactInfo, now time.Time) {
 		if !j.finish(state, errMsg, res, arts, now) {
 			return
 		}
-		s.met.finished(state, now.Sub(start))
+		s.met.finished(state, now.Sub(j.submitted))
+		lvl := slog.LevelInfo
+		if state == StateFailed {
+			lvl = slog.LevelWarn
+		}
+		s.log.Log(context.Background(), lvl, "job finished",
+			obs.KeyJob, j.id, obs.KeyDigest, j.digest, obs.KeyStage, obs.StageArtifactCommit.String(),
+			"state", string(state), "duration", now.Sub(j.submitted), "err", errMsg)
 		// The commit record. A crash between the in-memory finish and this
 		// append loses only durability, not correctness: recovery re-runs the
 		// job and its artifacts dedupe onto the already-committed objects.
-		s.appendWAL(walRecord{
+		s.appendWAL(j, walRecord{
 			Type: "finished", ID: j.id, Time: now,
 			State: state, Error: errMsg, Artifacts: arts, Result: res,
 		})
+	}
+	finish := func(state State, errMsg string, res *experiments.Result, arts []ArtifactInfo) {
+		finishAt(state, errMsg, res, arts, time.Now())
 	}
 
 	work, err := os.MkdirTemp("", "dtlserved-"+j.id+"-")
@@ -499,6 +588,8 @@ func (s *Server) run(j *job) {
 	}()
 	close(watch)
 	bcast.Wait()
+	tRun := time.Now()
+	s.stage(j, obs.StageRunning, start, tRun)
 
 	switch {
 	case runErr != nil:
@@ -512,11 +603,15 @@ func (s *Server) run(j *job) {
 	default:
 		res := results[0]
 		if s.chaos.CrashNow(chaos.CrashArtifact) {
+			s.chaosSpan(j, "crash-artifact", tRun)
 			s.hardStop()
 			return
 		}
 		arts, err := s.ingestArtifacts(j, work, report.Bytes(), res)
 		if err != nil {
+			if errors.Is(err, chaos.ErrInjected) {
+				s.chaosSpan(j, "store-write-error", tRun)
+			}
 			finish(StateFailed, err.Error(), &res, nil)
 			return
 		}
@@ -524,10 +619,15 @@ func (s *Server) run(j *job) {
 			// Artifacts are committed but the finished record is not: the
 			// dangerous window. Recovery re-runs the job; byte-determinism
 			// makes the re-run dedupe onto these exact objects.
+			s.chaosSpan(j, "crash-commit", tRun)
 			s.hardStop()
 			return
 		}
 		s.met.addLedger(ledgerPath)
-		finish(StateDone, "", &res, arts)
+		// The artifact-commit span ends exactly at the job's terminal
+		// timestamp, so core-stage durations tile the job's wall clock.
+		now := time.Now()
+		s.stage(j, obs.StageArtifactCommit, tRun, now)
+		finishAt(StateDone, "", &res, arts, now)
 	}
 }

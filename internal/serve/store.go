@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"time"
 
 	"dtl/internal/serve/chaos"
 	"dtl/internal/serve/journal"
@@ -28,7 +29,15 @@ type Store struct {
 	dir string
 	// chaos, when non-nil, injects write errors into Put paths.
 	chaos *chaos.Harness
+	// observer, when non-nil, sees every successful object write — the
+	// observability plane's store-I/O latency/size histograms hang off it.
+	observer StoreObserver
 }
+
+// StoreObserver receives the wall-clock duration and byte size of each
+// successful object write (including dedupe hits, whose hashing work is
+// real). Attached once at construction, before concurrent use.
+type StoreObserver func(d time.Duration, size int64)
 
 var digestRE = regexp.MustCompile(`^[0-9a-f]{64}$`)
 
@@ -68,6 +77,10 @@ func (s *Store) sweepTmp() error {
 // detaches). Called once at server construction, before concurrent use.
 func (s *Store) SetChaos(h *chaos.Harness) { s.chaos = h }
 
+// SetObserver attaches a write observer (nil detaches). Called once at
+// server construction, before concurrent use.
+func (s *Store) SetObserver(fn StoreObserver) { s.observer = fn }
+
 // Dir reports the store root.
 func (s *Store) Dir() string { return s.dir }
 
@@ -100,6 +113,7 @@ func (s *Store) Put(r io.Reader) (digest string, size int64, err error) {
 	if err := s.chaos.StoreWriteErr(); err != nil {
 		return "", 0, err
 	}
+	start := time.Now()
 	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "put-*")
 	if err != nil {
 		return "", 0, err
@@ -121,6 +135,9 @@ func (s *Store) Put(r io.Reader) (digest string, size int64, err error) {
 	if err := s.commit(tmp.Name(), digest); err != nil {
 		return "", 0, err
 	}
+	if s.observer != nil {
+		s.observer(time.Since(start), size)
+	}
 	return digest, size, nil
 }
 
@@ -139,9 +156,13 @@ func (s *Store) PutBytes(b []byte) (string, int64, error) {
 	if err := s.chaos.StoreWriteErr(); err != nil {
 		return "", 0, err
 	}
+	start := time.Now()
 	d := sha256.Sum256(b)
 	digest := hex.EncodeToString(d[:])
 	if _, err := os.Stat(s.objectPath(digest)); err == nil {
+		if s.observer != nil {
+			s.observer(time.Since(start), int64(len(b)))
+		}
 		return digest, int64(len(b)), nil
 	}
 	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "put-*")
@@ -161,6 +182,9 @@ func (s *Store) PutBytes(b []byte) (string, int64, error) {
 	}
 	if err := s.commit(tmp.Name(), digest); err != nil {
 		return "", 0, err
+	}
+	if s.observer != nil {
+		s.observer(time.Since(start), int64(len(b)))
 	}
 	return digest, int64(len(b)), nil
 }
