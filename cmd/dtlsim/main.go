@@ -61,6 +61,7 @@ import (
 	"dtl/internal/cliflag"
 	"dtl/internal/experiments"
 	"dtl/internal/fault"
+	"dtl/internal/rack"
 	"dtl/internal/sim"
 	"dtl/internal/telemetry"
 )
@@ -98,8 +99,10 @@ func main() {
 		metrics  = flag.String("metrics", "", "write sampled registry metrics as CSV")
 		ledger   = flag.String("ledger", "", "write the (vm, rank, cause) attribution cost ledger as JSON (same experiments as -trace)")
 		sample   = flag.String("sample", "0", "virtual-time metrics sampling period (e.g. 1ms; 0 = per-experiment default)")
-		faults   = flag.String("faults", "", "fault-injection spec for the schedule experiments (fig12/fig13/faults), e.g. 'seed=7;storm:ch1/rk2:at=90m;kill:ch3/rk1:at=3h'")
+		faults   = flag.String("faults", "", "fault-injection spec for the schedule experiments (fig12/fig13/faults/rack), e.g. 'seed=7;storm:ch1/rk2:at=90m;kill:ch3/rk1:at=3h' (rack runs accept expander-scoped targets like kill:x2/ch0/rk0)")
 		policy   = flag.String("policy", "", "power-policy overrides for A/B runs, e.g. 'reserve=3;threshold=80ms;srmin=2'")
+		rackN    = flag.Int("rack", 0, "expander count for the rack experiment (0 = its default of 4)")
+		fabric   = flag.String("fabric", "", "rack fabric model and placement policy, e.g. 'hop=150ns;gbs=32;policy=pack'")
 		watch    = flag.Bool("watch", false, "live dashboard on stderr (power-state strip, counters, ETA)")
 
 		parallel   = flag.Int("parallel", 1, "run experiments across N workers (reports stay in serial order)")
@@ -148,6 +151,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dtlsim:", err)
 		os.Exit(2)
 	}
+	rackExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "rack" {
+			rackExplicit = true
+		}
+	})
+	rackCount, err := cliflag.CheckCount("rack", *rackN, rackExplicit, rack.MaxExpanders)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtlsim:", err)
+		os.Exit(2)
+	}
+	if _, err := rack.ParseFabric(*fabric); err != nil {
+		fmt.Fprintln(os.Stderr, "dtlsim:", err)
+		os.Exit(2)
+	}
 	opts := experiments.Options{
 		Quick: *quick, Seed: *seed, Out: out, CSVDir: *csvDir,
 		TracePath: *trace, MetricsPath: *metrics, LedgerPath: *ledger,
@@ -157,6 +175,8 @@ func main() {
 		Parallel:     *parallel,
 		Shards:       *shards,
 		Policy:       pol,
+		Rack:         rackCount,
+		Fabric:       *fabric,
 	}
 
 	var watchDone chan struct{}

@@ -10,6 +10,7 @@
 //	dtlstat read trace.jsonl
 //	dtlstat read -json trace.jsonl                       # machine-readable summary
 //	dtlstat read -check RESIDENCY_seed.json trace.json   # CI residency gate
+//	dtlstat read -expanders 4 rack.jsonl                 # per-expander residency of a rack trace
 //	dtlstat top ledger.json                              # where did my energy go?
 //	dtlstat top -json trace.jsonl
 //	dtlstat diff baseline.jsonl candidate.jsonl
@@ -24,7 +25,10 @@
 // residency share of each power state against a tolerance band (JSON:
 // {"states": {"mpsm": {"share": 0.4, "tol": 0.1}, ...}}) and exits nonzero
 // on a violation, so CI can catch power-behavior regressions the unit suite
-// is too coarse to see.
+// is too coarse to see. -expanders N folds a rack trace's rack-global rank
+// axis (dtlsim -exp rack) back into N per-expander residency rows, showing
+// which expanders the placement policy kept awake; it refuses traces whose
+// channel count N does not divide.
 //
 // `top` renders the attribution cost ledger — every nanosecond of latency
 // and every unit of the energy proxy charged to a (vm, rank, cause) triple —
@@ -79,7 +83,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dtlstat read [-json] [-check band.json] <trace>
+  dtlstat read [-json] [-check band.json] [-expanders N] <trace>
   dtlstat top [-json] <ledger.json | trace>
   dtlstat diff [-json] [-share S] [-lat L] [-energy E] [-attr A] <traceA> <traceB>
   dtlstat jobs [-addr host:port] [-state S] [-json]
@@ -119,8 +123,9 @@ func cmdRead(args []string) int {
 	fs := flag.NewFlagSet("dtlstat read", flag.ExitOnError)
 	check := fs.String("check", "", "residency band JSON; exit nonzero if any state's aggregate share leaves its band")
 	jsonOut := fs.Bool("json", false, "emit the summary as JSON instead of tables")
+	expanders := fs.Int("expanders", 0, "fold the rack-global rank axis of a rack trace into N per-expander residency rows (0 = off)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dtlstat read [-json] [-check band.json] <trace>")
+		fmt.Fprintln(os.Stderr, "usage: dtlstat read [-json] [-check band.json] [-expanders N] <trace>")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -142,9 +147,21 @@ func cmdRead(args []string) int {
 	ranks := s.Ranks()
 	states := stateColumns(s)
 
+	var expRows []expanderResidency
+	if *expanders > 0 {
+		expRows, err = splitByExpander(s, ranks, states, *expanders)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtlstat:", err)
+			return 1
+		}
+	} else if *expanders < 0 {
+		fmt.Fprintf(os.Stderr, "dtlstat: -expanders %d: want a positive count\n", *expanders)
+		return 2
+	}
+
 	if *jsonOut {
 		agg, aggTotal := aggregateResidency(s, ranks, states)
-		if err := writeReadJSON(s, ranks, states, agg, aggTotal); err != nil {
+		if err := writeReadJSON(s, ranks, states, agg, aggTotal, expRows); err != nil {
 			fmt.Fprintln(os.Stderr, "dtlstat:", err)
 			return 1
 		}
@@ -178,6 +195,20 @@ func cmdRead(args []string) int {
 	cells = append(cells, fmt.Sprintf("%.3f", aggTotal/1e6))
 	tab.AddRow(cells...)
 	tab.Render(os.Stdout)
+
+	if len(expRows) > 0 {
+		fmt.Printf("\nper-expander residency (%d expanders):\n", len(expRows))
+		etab := metrics.NewTable(append(append([]string{"expander", "ranks"}, states...), "total_s")...)
+		for _, er := range expRows {
+			cells := []string{fmt.Sprintf("x%d", er.Expander), fmt.Sprintf("%d", er.Ranks)}
+			for _, st := range states {
+				cells = append(cells, sharePct(er.residencyUs[st], er.totalUs))
+			}
+			cells = append(cells, fmt.Sprintf("%.3f", er.totalUs/1e6))
+			etab.AddRow(cells...)
+		}
+		etab.Render(os.Stdout)
+	}
 
 	fmt.Printf("\nmigrations: %d", len(s.MigrationsUs))
 	if len(s.MigrationsUs) > 0 {
@@ -360,6 +391,70 @@ func aggregateResidency(s *telemetry.TraceSummary, ranks []int, states []string)
 	return agg, total
 }
 
+// expanderResidency is one expander's fold of the rack-global rank axis.
+type expanderResidency struct {
+	Expander int                `json:"expander"`
+	Ranks    int                `json:"ranks"`
+	TotalS   float64            `json:"total_s"`
+	Shares   map[string]float64 `json:"shares"`
+
+	residencyUs map[string]float64
+	totalUs     float64
+}
+
+// splitByExpander folds a rack trace's ranks into n per-expander rows. Rack
+// traces concatenate the expanders' channels (a rank's channel is
+// x*chansPerExpander + localChannel), so the owning expander is recovered
+// from the "chX/rkY" rank names the trace carries. A channel count n does
+// not divide, or a trace without channel-labelled ranks, is a loud error —
+// silently folding a single-expander trace would fabricate a rack that never
+// ran.
+func splitByExpander(s *telemetry.TraceSummary, ranks []int, states []string, n int) ([]expanderResidency, error) {
+	chOf := make(map[int]int, len(ranks))
+	maxCh := -1
+	for _, rank := range ranks {
+		var ch, rk int
+		if _, err := fmt.Sscanf(s.RankLabel(rank), "ch%d/rk%d", &ch, &rk); err != nil {
+			return nil, fmt.Errorf("-expanders: rank %d has label %q, not the chX/rkY form a rack trace records", rank, s.RankLabel(rank))
+		}
+		chOf[rank] = ch
+		if ch > maxCh {
+			maxCh = ch
+		}
+	}
+	channels := maxCh + 1
+	if channels%n != 0 {
+		return nil, fmt.Errorf("-expanders %d does not divide the trace's %d channels", n, channels)
+	}
+	perExp := channels / n
+	rows := make([]expanderResidency, n)
+	for x := range rows {
+		rows[x] = expanderResidency{
+			Expander:    x,
+			Shares:      map[string]float64{},
+			residencyUs: map[string]float64{},
+		}
+	}
+	for _, rank := range ranks {
+		er := &rows[chOf[rank]/perExp]
+		er.Ranks++
+		for _, st := range states {
+			er.residencyUs[st] += s.Residency[rank][st]
+		}
+		er.totalUs += s.RankDuration(rank)
+	}
+	for x := range rows {
+		er := &rows[x]
+		er.TotalS = er.totalUs / 1e6
+		if er.totalUs > 0 {
+			for _, st := range states {
+				er.Shares[st] = er.residencyUs[st] / er.totalUs
+			}
+		}
+	}
+	return rows, nil
+}
+
 // residencyBand is the tolerance-band file format: the expected device-wide
 // share of each power state plus an absolute tolerance.
 type residencyBand struct {
@@ -435,6 +530,7 @@ type readRankJSON struct {
 type readReport struct {
 	Ranks       []readRankJSON          `json:"ranks"`
 	Aggregate   map[string]float64      `json:"aggregate_shares"`
+	Expanders   []expanderResidency     `json:"expanders,omitempty"`
 	Migrations  int                     `json:"migrations"`
 	LatencyUs   *metrics.Summary        `json:"migration_latency_us,omitempty"`
 	Reasons     map[string]int          `json:"migration_reasons,omitempty"`
@@ -444,9 +540,10 @@ type readReport struct {
 }
 
 // writeReadJSON emits the machine-readable form of the `read` summary.
-func writeReadJSON(s *telemetry.TraceSummary, ranks []int, states []string, agg map[string]float64, aggTotal float64) error {
+func writeReadJSON(s *telemetry.TraceSummary, ranks []int, states []string, agg map[string]float64, aggTotal float64, expRows []expanderResidency) error {
 	rep := readReport{
 		Aggregate:   map[string]float64{},
+		Expanders:   expRows,
 		Migrations:  len(s.MigrationsUs),
 		Reasons:     s.MigrationReasons,
 		EnergyProxy: s.EnergyProxy(nil),

@@ -59,3 +59,25 @@ func BoundedWorkers(name string, v int, explicit bool) (n int, warning string, e
 	}
 	return n, warning, err
 }
+
+// CheckCount validates a bounded model-size knob (-rack): unlike worker
+// counts, these change the simulated physics, so a value above the model's
+// bound is rejected loudly rather than silently capped (capping would
+// silently simulate a different rack). Negative values and explicit zeros
+// are rejected like CheckWorkers; an unset zero is returned as 0, meaning
+// "use the experiment's default".
+func CheckCount(name string, v int, explicit bool, max int) (int, error) {
+	if v < 0 {
+		return 0, fmt.Errorf("-%s %d: want a positive count", name, v)
+	}
+	if v == 0 {
+		if explicit {
+			return 0, fmt.Errorf("-%s 0: want a positive count (omit the flag for the default)", name)
+		}
+		return 0, nil
+	}
+	if v > max {
+		return 0, fmt.Errorf("-%s %d exceeds the supported maximum %d", name, v, max)
+	}
+	return v, nil
+}

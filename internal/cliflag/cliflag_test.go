@@ -46,6 +46,41 @@ func TestBoundedWorkers(t *testing.T) {
 	}
 }
 
+func TestCheckCount(t *testing.T) {
+	cases := []struct {
+		name     string
+		v        int
+		explicit bool
+		max      int
+		want     int
+		wantErr  bool
+	}{
+		{"negative", -2, true, 64, 0, true},
+		{"explicit zero", 0, true, 64, 0, true},
+		{"implicit zero means default", 0, false, 64, 0, false},
+		{"in range", 4, true, 64, 4, false},
+		{"at max", 64, true, 64, 64, false},
+		{"above max is an error, never capped", 65, true, 64, 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n, err := CheckCount("rack", c.v, c.explicit, c.max)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("CheckCount(%d, %v, %d) err = %v, want err %v", c.v, c.explicit, c.max, err, c.wantErr)
+			}
+			if err != nil {
+				if !strings.Contains(err.Error(), "-rack") {
+					t.Fatalf("error %q does not name the flag", err)
+				}
+				return
+			}
+			if n != c.want {
+				t.Fatalf("CheckCount(%d, %v, %d) = %d, want %d", c.v, c.explicit, c.max, n, c.want)
+			}
+		})
+	}
+}
+
 func TestCheckWorkersStructuredWarning(t *testing.T) {
 	max := runtime.GOMAXPROCS(0)
 	n, w, err := CheckWorkers("shards", max+3, true)

@@ -320,6 +320,17 @@ func (d *DTL) StartLedger() *telemetry.Ledger {
 	return l
 }
 
+// FinishAttribution completes the attribution bill after tr.Finish: the
+// tracer's closed power spans are folded into led as background residency
+// energy, and the final cell totals are dumped into the trace. Drivers that
+// wire a tracer and a ledger together call this once at the run horizon;
+// rack.Fabric implements the same method with a cross-expander fold, so
+// experiment telemetry can treat one expander and a rack uniformly.
+func (d *DTL) FinishAttribution(tr *telemetry.Tracer, led *telemetry.Ledger, horizon sim.Time) {
+	led.ChargeResidency(tr, nil)
+	led.EmitTo(tr, horizon)
+}
+
 // ownerOf reports the VM owning hsn's allocation unit, or
 // telemetry.SystemVM when the AU is unassigned.
 func (d *DTL) ownerOf(hsn dram.HSN) int64 {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"dtl/internal/dram"
 	"dtl/internal/sim"
 )
@@ -12,6 +14,61 @@ import (
 func (d *DTL) maybePowerDown(now sim.Time) {
 	for d.tryPowerDownOne(now) {
 	}
+}
+
+// PowerDownIdle runs the §3.3 power-down check outside an allocation event:
+// as many virtual rank groups as the free-capacity reserve allows enter
+// MPSM. A fresh device starts fully in Standby and normally settles at its
+// first allocation or deallocation; rack composition calls this at build
+// time so expanders that never receive a VM (the pack policy's cold pool)
+// idle at their power floor instead of burning full standby power.
+func (d *DTL) PowerDownIdle(now sim.Time) { d.maybePowerDown(now) }
+
+// Park powers down every rank group of an idle expander, including the
+// per-channel active floor and capacity reserve maybePowerDown preserves.
+// Those guards exist so a live device can absorb allocations and drains
+// without waking ranks on the critical path; an expander holding no VM at
+// all needs neither, and a rack allocator that drained it wants the whole
+// device at the MPSM floor. Parked groups land on the ordinary reactivation
+// stack, so a later AllocateVM wakes them on demand (charged as
+// demotion-wait, like any MPSM exit). Only valid on an idle device.
+func (d *DTL) Park(now sim.Time) error {
+	if n := len(d.vms); n != 0 {
+		return fmt.Errorf("core: Park with %d live VMs", n)
+	}
+	for d.parkOne(now) {
+	}
+	return nil
+}
+
+// parkOne powers down one virtual rank group of an idle device, reporting
+// whether it did. It is tryPowerDownOne minus the reserve and floor guards;
+// with no live VMs there is nothing to drain, which the allocated counters
+// re-check defensively.
+func (d *DTL) parkOne(now sim.Time) bool {
+	g := d.cfg.Geometry
+	victims := make([]dram.RankID, g.Channels)
+	for ch := 0; ch < g.Channels; ch++ {
+		ranks := d.activeRanks(ch)
+		if len(ranks) == 0 {
+			return false
+		}
+		victims[ch] = dram.RankID{Channel: ch, Rank: ranks[0]}
+	}
+	for _, id := range victims {
+		if d.allocated[d.codec.GlobalRank(id.Channel, id.Rank)] != 0 {
+			panic("core: parkOne found live segments on an idle device")
+		}
+		if d.dev.State(id) == dram.SelfRefresh {
+			d.hot.onSelfRefreshWake(id, now)
+			d.st.selfRefreshExits.Inc()
+		}
+		d.dev.SetState(id, dram.MPSM, now)
+		d.hot.onRankPoweredDown(id, now)
+	}
+	d.poweredDown = append(d.poweredDown, victims)
+	d.st.powerDownEvents.Inc()
+	return true
 }
 
 // tryPowerDownOne powers down one virtual rank group if capacity allows,

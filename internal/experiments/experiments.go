@@ -85,6 +85,16 @@ type Options struct {
 	// composes with Parallel (shards split one experiment's channels;
 	// Parallel fans out across experiments and sweep points).
 	Shards int
+	// Rack is the expander count for the rack experiment: N independent
+	// DTL devices composed behind a simulated CXL fabric. 0 picks the
+	// default rack size (4); other experiments ignore it.
+	Rack int
+	// Fabric is the rack fabric cost model and placement policy, the
+	// `dtlsim -fabric` grammar (rack.ParseFabric): semicolon-separated
+	// key=value terms over hop (per-switch-hop latency), gbs (shared link
+	// bandwidth) and policy (spread|pack). Empty picks rack defaults.
+	// Only the rack experiment honors it.
+	Fabric string
 	// Policy carries power-policy overrides for A/B runs compared with
 	// `dtlstat diff`: the free-rank-group reserve for the power-down
 	// schedule experiments, and the profiling window/threshold and
@@ -208,6 +218,7 @@ func All() []Runner {
 		{"abl-tsp", "Ablation: TSP walk budget (§3.4)", AblationTSPTimeout},
 		{"abl-rankgroup", "Ablation: rank-group vs per-rank power-down (§3.3)", AblationRankGroup},
 		{"faults", "Reliability loop under injected ECC storms and rank failure", Faults},
+		{"rack", "Rack-scale fabric: pack vs spread placement over N expanders", Rack},
 	}
 }
 

@@ -12,8 +12,8 @@ func quickOpts() Options { return Options{Quick: true, Seed: 1} }
 
 func TestRegistryCompleteAndUnique(t *testing.T) {
 	runners := All()
-	if len(runners) != 22 {
-		t.Fatalf("registered experiments = %d, want 22", len(runners))
+	if len(runners) != 23 {
+		t.Fatalf("registered experiments = %d, want 23", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {

@@ -6,26 +6,43 @@ import (
 	"os"
 
 	"dtl/internal/core"
+	"dtl/internal/rack"
 	"dtl/internal/sim"
 	"dtl/internal/telemetry"
 )
 
-// runTelemetry wires a metrics registry (and, for DTL-driven runs, the event
-// tracer and the -watch publisher) to the sinks requested in Options. A nil
-// *runTelemetry is valid and makes every method a no-op, so experiment loops
-// call tick/finish unconditionally and pay nothing when observability is off.
+// attrSource is the device composition a telemetry run attaches to: one
+// core.DTL expander or a rack.Fabric of them. Both own a registry, can
+// source a trace and a cost ledger, and know how to complete the
+// attribution bill at the horizon (the fabric folds its per-expander
+// ledgers into rack-global rank numbering there).
+type attrSource interface {
+	StartTrace(capacity int, now sim.Time) *telemetry.Tracer
+	StartLedger() *telemetry.Ledger
+	AttachTracer(*telemetry.Tracer)
+	AttachLedger(*telemetry.Ledger)
+	Registry() *telemetry.Registry
+	FinishAttribution(tr *telemetry.Tracer, led *telemetry.Ledger, horizon sim.Time)
+}
+
+// runTelemetry wires a metrics registry (and, for device-driven runs, the
+// event tracer and the -watch publisher) to the sinks requested in Options. A
+// nil *runTelemetry is valid and makes every method a no-op, so experiment
+// loops call tick/finish unconditionally and pay nothing when observability
+// is off.
 type runTelemetry struct {
 	tracePath   string
 	metricsPath string
 	ledgerPath  string
 
-	d       *core.DTL // nil for registry-only runs (no tracer source)
-	reg     *telemetry.Registry
-	tr      *telemetry.Tracer
-	led     *telemetry.Ledger
-	eng     *sim.Engine
-	stop    func()
-	horizon sim.Time // run horizon for watch ETA; 0 = unknown
+	src      attrSource // nil for registry-only runs (no tracer source)
+	snapshot func(now sim.Time, done bool) WatchSnapshot
+	reg      *telemetry.Registry
+	tr       *telemetry.Tracer
+	led      *telemetry.Ledger
+	eng      *sim.Engine
+	stop     func()
+	horizon  sim.Time // run horizon for watch ETA; 0 = unknown
 
 	// Chrome traces buffer in the tracer's ring and are written at finish;
 	// jsonl/csv traces stream record by record through traceStream.
@@ -54,6 +71,21 @@ type runTelemetry struct {
 // all runs). horizon is the run end if the experiment knows it up front (for
 // the watch ETA); 0 means unknown.
 func (o Options) telemetryFor(d *core.DTL, defaultPeriod, horizon sim.Time) *runTelemetry {
+	return o.telemetryForSource(d, func(now sim.Time, done bool) WatchSnapshot {
+		return snapshotDTL(d, o.watchExperiment, now, horizon, done)
+	}, defaultPeriod, horizon)
+}
+
+// telemetryForFabric is telemetryFor for rack runs: the trace, ledger, and
+// metrics sources are the fabric's rack-global ones, and watch snapshots
+// concatenate every expander's rank strip.
+func (o Options) telemetryForFabric(f *rack.Fabric, defaultPeriod, horizon sim.Time) *runTelemetry {
+	return o.telemetryForSource(f, func(now sim.Time, done bool) WatchSnapshot {
+		return snapshotFabric(f, o.watchExperiment, now, horizon, done)
+	}, defaultPeriod, horizon)
+}
+
+func (o Options) telemetryForSource(src attrSource, snapshot func(sim.Time, bool) WatchSnapshot, defaultPeriod, horizon sim.Time) *runTelemetry {
 	if o.TracePath == "" && o.MetricsPath == "" && o.LedgerPath == "" && o.Watch == nil {
 		return nil
 	}
@@ -61,15 +93,16 @@ func (o Options) telemetryFor(d *core.DTL, defaultPeriod, horizon sim.Time) *run
 		tracePath:   o.TracePath,
 		metricsPath: o.MetricsPath,
 		ledgerPath:  o.LedgerPath,
-		d:           d,
-		reg:         d.Registry(),
+		src:         src,
+		snapshot:    snapshot,
+		reg:         src.Registry(),
 		eng:         sim.NewEngine(),
 		horizon:     horizon,
 		watch:       o.Watch,
 		watchLabel:  o.watchExperiment,
 	}
 	if o.TracePath != "" {
-		rt.tr = d.StartTrace(0, 0)
+		rt.tr = src.StartTrace(0, 0)
 		rt.traceFormat = o.TraceFormat
 		if o.TraceFormat != telemetry.FormatChrome {
 			if f, err := os.Create(o.TracePath); err != nil {
@@ -91,7 +124,7 @@ func (o Options) telemetryFor(d *core.DTL, defaultPeriod, horizon sim.Time) *run
 	// active: an explicit -ledger file, a trace (which receives the ledger
 	// dump at finish), or a watch pane.
 	if o.LedgerPath != "" || o.TracePath != "" || o.Watch != nil {
-		rt.led = d.StartLedger()
+		rt.led = src.StartLedger()
 	}
 	rt.startSampling(o, defaultPeriod)
 	rt.startWatch(o, defaultPeriod)
@@ -143,11 +176,11 @@ func (rt *runTelemetry) startSampling(o Options, defaultPeriod sim.Time) {
 // publisher runs on the sim goroutine (inside tick) and never blocks, so the
 // run is byte-identical with and without a watcher.
 func (rt *runTelemetry) startWatch(o Options, defaultPeriod sim.Time) {
-	if rt.watch == nil || rt.d == nil {
+	if rt.watch == nil || rt.snapshot == nil {
 		return
 	}
 	rt.eng.Every(o.period(defaultPeriod), func(now sim.Time) {
-		sendWatch(rt.watch, snapshotDTL(rt.d, rt.watchLabel, now, rt.horizon, false))
+		sendWatch(rt.watch, rt.snapshot(now, false))
 	})
 }
 
@@ -181,14 +214,19 @@ func (rt *runTelemetry) finish(horizon sim.Time) error {
 	}
 	if rt.tr != nil {
 		rt.tr.Finish(horizon)
-		if rt.led != nil {
-			// Fold the run's background-energy proxy (finished power
-			// spans) into the ledger, then dump the per-cell totals into
-			// the trace so any trace consumer can rebuild attribution.
-			rt.led.ChargeResidency(rt.tr, nil)
-			rt.led.EmitTo(rt.tr, horizon)
-		}
-		rt.d.AttachTracer(nil)
+	}
+	if rt.led != nil {
+		// Complete the attribution bill: fold the run's background-energy
+		// proxy (finished power spans) into the ledger — and, for a rack
+		// source, fold every expander's private ledger into rack-global
+		// numbering — then dump the per-cell totals into the trace so any
+		// trace consumer can rebuild attribution. With no trace attached
+		// the residency fold is a no-op and only technique costs appear,
+		// matching the ledger-only behavior documented in Options.
+		rt.src.FinishAttribution(rt.tr, rt.led, horizon)
+	}
+	if rt.tr != nil {
+		rt.src.AttachTracer(nil)
 		if rt.traceFormat == telemetry.FormatChrome {
 			if err := writeTo(rt.tracePath, func(f *os.File) error {
 				return telemetry.WriteChromeTrace(f, rt.tr)
@@ -200,7 +238,7 @@ func (rt *runTelemetry) finish(horizon sim.Time) error {
 		}
 	}
 	if rt.led != nil {
-		rt.d.AttachLedger(nil)
+		rt.src.AttachLedger(nil)
 		if rt.ledgerPath != "" {
 			if err := writeTo(rt.ledgerPath, func(f *os.File) error {
 				return rt.led.WriteJSON(f)
@@ -214,8 +252,8 @@ func (rt *runTelemetry) finish(horizon sim.Time) error {
 			return fmt.Errorf("experiments: writing metrics: %w", err)
 		}
 	}
-	if rt.watch != nil && rt.d != nil {
-		sendWatch(rt.watch, snapshotDTL(rt.d, rt.watchLabel, horizon, rt.horizon, true))
+	if rt.watch != nil && rt.snapshot != nil {
+		sendWatch(rt.watch, rt.snapshot(horizon, true))
 	}
 	return nil
 }

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"dtl/internal/core"
 	"dtl/internal/dram"
+	"dtl/internal/rack"
 	"dtl/internal/sim"
 	"dtl/internal/telemetry"
 )
@@ -97,6 +100,73 @@ func snapshotDTL(d *core.DTL, label string, now, horizon sim.Time, done bool) Wa
 				Name:  id.String(),
 				State: state,
 			})
+		}
+	}
+	return snap
+}
+
+// snapshotFabric reads one WatchSnapshot off a live rack: every expander's
+// rank strip concatenated in rack-global order (expander channels side by
+// side, so the strip groups visually by expander), counters summed across
+// expanders, and attribution totals merged from the rack ledger (fabric
+// causes) plus every expander's private ledger (everything else).
+func snapshotFabric(f *rack.Fabric, label string, now, horizon sim.Time, done bool) WatchSnapshot {
+	snap := WatchSnapshot{
+		Experiment: label,
+		Now:        now,
+		Horizon:    horizon,
+		Ranks:      make([]WatchRank, 0, f.TotalRanks()),
+		Done:       done,
+	}
+	var totals [telemetry.NumCauses]telemetry.LedgerCell
+	merge := func(led *telemetry.Ledger) {
+		if led == nil {
+			return
+		}
+		ct := led.CauseTotals()
+		for c := range ct {
+			totals[c].LatNs += ct[c].LatNs
+			totals[c].Energy += ct[c].Energy
+		}
+	}
+	merge(f.Ledger())
+	for _, e := range f.Expanders() {
+		reg := e.DTL.Registry()
+		snap.Migrations += reg.Counter("core.migration.segments_migrated").Value()
+		snap.Wakes += reg.Counter("core.selfrefresh.exits").Value()
+		snap.Faults += reg.Counter("core.health.fault_events").Value()
+		snap.Retired += len(e.DTL.RetiredRanks())
+		merge(e.DTL.Ledger())
+	}
+	for c := telemetry.Cause(0); int(c) < telemetry.NumCauses; c++ {
+		cell := totals[c]
+		if cell.LatNs == 0 && cell.Energy == 0 {
+			continue
+		}
+		snap.Attr = append(snap.Attr, WatchAttr{
+			Cause: c.String(), LatNs: cell.LatNs, Energy: cell.Energy,
+		})
+	}
+	g := f.Config().Expander.Geometry
+	totalCh := f.Config().Expanders * g.Channels
+	for rk := 0; rk < g.RanksPerChannel; rk++ {
+		for _, e := range f.Expanders() {
+			retired := map[dram.RankID]bool{}
+			for _, id := range e.DTL.RetiredRanks() {
+				retired[id] = true
+			}
+			for ch := 0; ch < g.Channels; ch++ {
+				id := dram.RankID{Channel: ch, Rank: rk}
+				state := e.DTL.Device().State(id).String()
+				if retired[id] {
+					state = "retired"
+				}
+				snap.Ranks = append(snap.Ranks, WatchRank{
+					Rank:  rk*totalCh + e.ID*g.Channels + ch,
+					Name:  fmt.Sprintf("x%d/%s", e.ID, id),
+					State: state,
+				})
+			}
 		}
 	}
 	return snap

@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+func TestParseExpanderScopedTargets(t *testing.T) {
+	spec := MustParse("kill:x2/ch0/rk0:at=1h; psu:x1/ch3:at=90m; storm:ch1/rk2")
+	c := spec.Clauses
+	if c[0].Kind != Kill || c[0].Expander != 2 || c[0].Rank != (dram.RankID{Channel: 0, Rank: 0}) || c[0].At != sim.Hour {
+		t.Fatalf("kill clause = %+v", c[0])
+	}
+	if c[1].Kind != PSU || c[1].Expander != 1 || c[1].Rank != (dram.RankID{Channel: 3, Rank: WholeChannel}) {
+		t.Fatalf("psu clause = %+v", c[1])
+	}
+	if c[2].Expander != AnyExpander {
+		t.Fatalf("unscoped clause carries expander %d, want AnyExpander", c[2].Expander)
+	}
+}
+
+func TestParseExpanderPSUShorthand(t *testing.T) {
+	spec := MustParse("psu:x3/ch=1@90m")
+	c := spec.Clauses[0]
+	if c.Expander != 3 || c.Rank.Channel != 1 || c.Rank.Rank != WholeChannel || c.At != 90*sim.Minute {
+		t.Fatalf("psu shorthand clause = %+v", c)
+	}
+}
+
+func TestParseExpanderErrors(t *testing.T) {
+	bad := []string{
+		"kill:x/ch0/rk0",     // missing index
+		"kill:x-1/ch0/rk0",   // negative index
+		"kill:xq/ch0/rk0",    // non-numeric index
+		"kill:x2",            // scope with no rank target
+		"kill:x2/",           // scope with empty rank target
+		"storm:x1x2/ch0/rk0", // double scope
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed expander target", s)
+		}
+	}
+}
+
+// TestInjectorRejectsExpanderScope pins the loud single-device error: an
+// Injector is bound to one dram.Device, so clauses addressed to an expander
+// must be split out by the rack front end first.
+func TestInjectorRejectsExpanderScope(t *testing.T) {
+	dev := dram.MustDevice(dram.Default1TB(), dram.DefaultPowerModel(), dram.DefaultTiming())
+	_, err := NewInjector(MustParse("kill:x1/ch0/rk0"), dev, sim.NewEngine())
+	if err == nil {
+		t.Fatal("NewInjector accepted an expander-scoped clause")
+	}
+	if !strings.Contains(err.Error(), "x1") || !strings.Contains(err.Error(), "ForExpander") {
+		t.Fatalf("rejection should name the expander and the fix, got: %v", err)
+	}
+}
+
+func TestForExpanderSplitsSpec(t *testing.T) {
+	spec := MustParse("seed=9; kill:x2/ch0/rk0:at=1h; storm:ch1/rk2; psu:x2/ch3; ue:x0/ch0/rk1")
+	if got := spec.MaxExpander(); got != 2 {
+		t.Fatalf("MaxExpander = %d, want 2", got)
+	}
+
+	x0 := spec.ForExpander(0)
+	// Expander 0 owns the unscoped storm clause and the explicit x0 UE, with
+	// the parent's seed so single-expander specs replay identically.
+	if x0.Seed != 9 {
+		t.Fatalf("expander-0 seed = %d, want parent seed 9", x0.Seed)
+	}
+	if len(x0.Clauses) != 2 || x0.Clauses[0].Kind != Storm || x0.Clauses[1].Kind != UE {
+		t.Fatalf("expander-0 clauses = %+v", x0.Clauses)
+	}
+
+	x2 := spec.ForExpander(2)
+	if len(x2.Clauses) != 2 || x2.Clauses[0].Kind != Kill || x2.Clauses[1].Kind != PSU {
+		t.Fatalf("expander-2 clauses = %+v", x2.Clauses)
+	}
+	if x2.Seed == spec.Seed {
+		t.Fatal("expander-2 sub-spec should derive a distinct seed")
+	}
+	for _, sub := range []Spec{x0, x2} {
+		for _, c := range sub.Clauses {
+			if c.Expander != AnyExpander {
+				t.Fatalf("split clause still expander-scoped: %+v", c)
+			}
+		}
+	}
+	if got := spec.ForExpander(1).Clauses; len(got) != 0 {
+		t.Fatalf("expander 1 should get no clauses, got %+v", got)
+	}
+
+	// The split sub-specs are plain single-device specs NewInjector accepts.
+	dev := dram.MustDevice(dram.Default1TB(), dram.DefaultPowerModel(), dram.DefaultTiming())
+	for _, sub := range []Spec{x0, x2} {
+		if _, err := NewInjector(sub, dev, sim.NewEngine()); err != nil {
+			t.Fatalf("split sub-spec rejected: %v", err)
+		}
+	}
+}

@@ -10,8 +10,9 @@
 //
 //	spec    := clause (";" clause)*
 //	clause  := "seed=" int
-//	         | kind ":" rank [":" params]
+//	         | kind ":" target [":" params]
 //	kind    := "ce" | "storm" | "ue" | "wake" | "stuck" | "kill" | "psu"
+//	target  := ["x" int "/"] rank              // optional expander scope
 //	rank    := "ch" int "/rk" int
 //	         | "ch" ["="] int ["@" duration]   // psu only: a whole channel
 //	params  := param ("," param)*
@@ -33,6 +34,13 @@
 // rank on a channel at once, the scenario that stresses the health monitor's
 // retirement capacity instead of one rank at a time. It targets a channel,
 // not a rank — "psu:ch1:at=90m", or the shorthand "psu:ch=1@90m".
+//
+// The optional "xN/" prefix scopes a clause to expander N of a rack-scale
+// run ("kill:x2/ch0/rk0", "psu:x1/ch3"). A single-device Injector rejects
+// expander-scoped clauses loudly — only the rack front end (internal/rack)
+// may consume them, by splitting the spec with Spec.ForExpander before
+// building one Injector per expander. Unscoped clauses in a rack run apply
+// to expander 0, so single-expander specs mean the same thing at rack scale.
 package fault
 
 import (
@@ -72,6 +80,11 @@ const (
 // (PSU): the clause targets every rank of Rank.Channel.
 const WholeChannel = -1
 
+// AnyExpander is the Clause.Expander sentinel for clauses without an "xN/"
+// scope: the clause targets the (single) device the injector is bound to, or
+// expander 0 of a rack.
+const AnyExpander = -1
+
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	switch k {
@@ -107,13 +120,14 @@ const (
 
 // Clause is one compiled fault process.
 type Clause struct {
-	Kind  Kind
-	Rank  dram.RankID
-	Rate  float64  // events per second (CE/Storm)
-	At    sim.Time // activation time
-	Dur   sim.Time // active window; 0 = until the horizon
-	Count int      // errors per event (CE/Storm/UE)
-	Extra sim.Time // wake-fault latency (Wake)
+	Kind     Kind
+	Expander int // target expander ("xN/" prefix), or AnyExpander
+	Rank     dram.RankID
+	Rate     float64  // events per second (CE/Storm)
+	At       sim.Time // activation time
+	Dur      sim.Time // active window; 0 = until the horizon
+	Count    int      // errors per event (CE/Storm/UE)
+	Extra    sim.Time // wake-fault latency (Wake)
 }
 
 // Spec is a parsed fault specification.
@@ -157,12 +171,42 @@ func MustParse(s string) Spec {
 	return spec
 }
 
+// MaxExpander reports the highest expander index any clause targets, or
+// AnyExpander if the spec is entirely unscoped. Rack front ends use it to
+// reject specs that address expanders outside the rack.
+func (s Spec) MaxExpander() int {
+	max := AnyExpander
+	for _, c := range s.Clauses {
+		if c.Expander > max {
+			max = c.Expander
+		}
+	}
+	return max
+}
+
+// ForExpander projects the spec onto expander x: clauses scoped to x — plus,
+// on expander 0, the unscoped clauses — survive with their Expander field
+// cleared, so the result is a plain single-device spec NewInjector accepts.
+// Each expander's sub-spec derives its own seed from the parent seed and the
+// expander index, so per-clause arrival streams on different expanders are
+// decorrelated but exactly reproducible.
+func (s Spec) ForExpander(x int) Spec {
+	out := Spec{Seed: s.Seed + int64(x)*0x9e3779b9}
+	for _, c := range s.Clauses {
+		if c.Expander == x || (c.Expander == AnyExpander && x == 0) {
+			c.Expander = AnyExpander
+			out.Clauses = append(out.Clauses, c)
+		}
+	}
+	return out
+}
+
 func parseClause(s string) (Clause, error) {
 	fields := strings.SplitN(s, ":", 3)
 	if len(fields) < 2 {
 		return Clause{}, fmt.Errorf("fault: clause %q needs kind:chN/rkM", s)
 	}
-	c := Clause{Count: 1}
+	c := Clause{Count: 1, Expander: AnyExpander}
 	switch strings.TrimSpace(fields[0]) {
 	case "ce":
 		c.Kind, c.Rate = CE, DefaultCERate
@@ -183,6 +227,18 @@ func parseClause(s string) (Clause, error) {
 	}
 
 	rank := strings.TrimSpace(fields[1])
+	// Optional expander scope: "xN/" ahead of the rank or channel target.
+	if rest, ok := strings.CutPrefix(rank, "x"); ok {
+		xs, tail, found := strings.Cut(rest, "/")
+		if !found {
+			return Clause{}, fmt.Errorf("fault: bad target %q in clause %q (want xN/chM...)", rank, s)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(xs))
+		if err != nil || n < 0 {
+			return Clause{}, fmt.Errorf("fault: bad expander %q in clause %q (want xN/ with N >= 0)", xs, s)
+		}
+		c.Expander, rank = n, strings.TrimSpace(tail)
+	}
 	if c.Kind == PSU {
 		// Channel-scoped target: "chN" or "ch=N", with an optional "@t"
 		// activation shorthand ("psu:ch=1@90m" == "psu:ch1:at=90m").
@@ -282,6 +338,11 @@ type Injector struct {
 func NewInjector(spec Spec, dev *dram.Device, eng *sim.Engine) (*Injector, error) {
 	g := dev.Geometry()
 	for _, c := range spec.Clauses {
+		if c.Expander != AnyExpander {
+			return nil, fmt.Errorf("fault: clause %s targets expander x%d but the injector is bound to a single device; "+
+				"expander-scoped clauses are only valid in rack runs (split the spec with Spec.ForExpander)",
+				c.Kind, c.Expander)
+		}
 		if c.Kind == PSU {
 			if c.Rank.Channel < 0 || c.Rank.Channel >= g.Channels || c.Rank.Rank != WholeChannel {
 				return nil, fmt.Errorf("fault: clause %s targets channel %d outside %v", c.Kind, c.Rank.Channel, g)

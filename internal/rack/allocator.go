@@ -1,0 +1,277 @@
+package rack
+
+import (
+	"fmt"
+	"sort"
+
+	"dtl/internal/core"
+	"dtl/internal/sim"
+)
+
+// ConsolidateFraction is the pack-policy drain trigger: an expander whose
+// allocation falls below this fraction of its capacity (but is not empty)
+// becomes a consolidation donor, and its VMs migrate out over the fabric
+// so the expander can power all the way down.
+const ConsolidateFraction = 0.25
+
+// placement is one VM's current home.
+type placement struct {
+	exp   int
+	host  core.HostID
+	bytes int64
+}
+
+// AllocStats counts what the allocator did.
+type AllocStats struct {
+	Placed         int64 // successful placements
+	Spilled        int64 // placements that missed the affinity expander (spread) or the densest fit (pack capacity re-route)
+	Shed           int64 // placements no expander could hold
+	Migrations     int64 // whole-VM inter-expander migrations completed
+	MigratedBytes  int64 // bytes moved over the fabric by those migrations
+	VerifyProbes   int64 // verify-after-copy read probes issued
+	VerifyLatNs    int64 // summed latency of those probes (foreground cost)
+	VerifyFailures int64 // probes that failed, aborting the migration
+	Reroutes       int64 // destinations abandoned (allocation or verify failure)
+}
+
+// Allocator is the global placement layer: it decides which expander a VM
+// lands on (FabricConfig.Policy), tracks every VM's home, and — under the
+// pack policy — migrates whole VMs between expanders with verify-after-copy
+// so lightly-used expanders drain and power down. All iteration is in
+// sorted VM order, keeping rack runs byte-deterministic.
+type Allocator struct {
+	f     *Fabric
+	vms   map[core.VMID]placement
+	ids   []core.VMID // reused scratch for deterministic iteration
+	stats AllocStats
+}
+
+// NewAllocator builds the placement layer for f.
+func NewAllocator(f *Fabric) *Allocator {
+	return &Allocator{f: f, vms: make(map[core.VMID]placement)}
+}
+
+// Stats reports cumulative allocator activity.
+func (a *Allocator) Stats() AllocStats { return a.stats }
+
+// Lookup reports the expander currently holding vm.
+func (a *Allocator) Lookup(vm core.VMID) (int, bool) {
+	p, ok := a.vms[vm]
+	return p.exp, ok
+}
+
+// freeBytes estimates expander x's remaining capacity.
+func (a *Allocator) freeBytes(x int) int64 {
+	d := a.f.Expander(x).DTL
+	return d.Config().Geometry.TotalBytes() - d.AllocatedBytes()
+}
+
+// chooseOrder ranks candidate expanders for a placement of bytes under the
+// active policy. Spread prefers the affinity expander, then the most free
+// capacity (ties to the lowest id); pack prefers the most-allocated
+// expander that still fits (ties to the lowest id), affinity ignored.
+func (a *Allocator) chooseOrder(vm core.VMID) []int {
+	n := a.f.Config().Expanders
+	order := make([]int, 0, n)
+	for x := 0; x < n; x++ {
+		order = append(order, x)
+	}
+	switch a.f.Config().Fabric.Policy {
+	case PolicyPack:
+		sort.SliceStable(order, func(i, j int) bool {
+			ai := a.f.Expander(order[i]).DTL.AllocatedBytes()
+			aj := a.f.Expander(order[j]).DTL.AllocatedBytes()
+			if ai != aj {
+				return ai > aj
+			}
+			return order[i] < order[j]
+		})
+	default: // PolicySpread
+		aff := a.f.Affinity(vm)
+		sort.SliceStable(order, func(i, j int) bool {
+			if (order[i] == aff) != (order[j] == aff) {
+				return order[i] == aff
+			}
+			fi, fj := a.freeBytes(order[i]), a.freeBytes(order[j])
+			if fi != fj {
+				return fi > fj
+			}
+			return order[i] < order[j]
+		})
+	}
+	return order
+}
+
+// Place admits a VM: candidate expanders are tried in policy order and the
+// VM lands on the first that accepts the allocation (a full or degraded
+// expander falls through to the next). Returns the chosen expander, or
+// core.ErrOutOfCapacity when no expander can hold the VM (the caller sheds
+// the arrival, mirroring the single-expander schedule experiments).
+func (a *Allocator) Place(vm core.VMID, host core.HostID, bytes int64, now sim.Time) (int, error) {
+	if _, ok := a.vms[vm]; ok {
+		return 0, fmt.Errorf("rack: vm %d already placed", vm)
+	}
+	order := a.chooseOrder(vm)
+	for i, x := range order {
+		if _, err := a.f.Expander(x).DTL.AllocateVM(vm, host, bytes, now); err != nil {
+			continue
+		}
+		a.vms[vm] = placement{exp: x, host: host, bytes: bytes}
+		a.stats.Placed++
+		if i > 0 {
+			a.stats.Spilled++
+		}
+		return x, nil
+	}
+	a.stats.Shed++
+	return 0, core.ErrOutOfCapacity
+}
+
+// Free releases a departed VM from its expander; under the pack policy an
+// expander left empty parks entirely (every rank to MPSM).
+func (a *Allocator) Free(vm core.VMID, now sim.Time) error {
+	p, ok := a.vms[vm]
+	if !ok {
+		return fmt.Errorf("rack: vm %d not placed", vm)
+	}
+	if err := a.f.Expander(p.exp).DTL.DeallocateVM(vm, now); err != nil {
+		return err
+	}
+	delete(a.vms, vm)
+	return a.maybePark(p.exp, now)
+}
+
+// maybePark parks expander x when the pack policy drained it empty: core's
+// per-channel active floor is a per-device serving guarantee, and a
+// pack-policy expander with no VMs left serves nobody until the allocator
+// routes new load at it (AllocateVM then unparks rank groups on demand).
+func (a *Allocator) maybePark(x int, now sim.Time) error {
+	if a.f.Config().Fabric.Policy != PolicyPack {
+		return nil
+	}
+	d := a.f.Expander(x).DTL
+	if d.AllocatedBytes() != 0 {
+		return nil
+	}
+	if err := d.Park(now); err != nil {
+		return fmt.Errorf("rack: parking drained expander %d: %w", x, err)
+	}
+	return nil
+}
+
+// migrate moves one VM from its current expander to dst with
+// verify-after-copy: allocate on dst, copy the VM's bytes over the fabric
+// (charging fabric-copy), read-probe every destination AU base, and only
+// then free the source. A failed allocation or verify probe rolls the
+// destination back and reports a re-route, leaving the VM where it was.
+// Verify-probe latency is foreground cost the destination DTL charges
+// normally; it is also summed into AllocStats.VerifyLatNs so drivers can
+// reconcile their own foreground accounting.
+func (a *Allocator) migrate(vm core.VMID, dst int, now sim.Time) (bool, error) {
+	p := a.vms[vm]
+	src := a.f.Expander(p.exp).DTL
+	dstDTL := a.f.Expander(dst).DTL
+	alloc, err := dstDTL.AllocateVM(vm, p.host, p.bytes, now)
+	if err != nil {
+		a.stats.Reroutes++
+		return false, nil
+	}
+	done := a.f.copyOver(vm, p.exp, dst, p.bytes, now)
+	verified := true
+	for _, base := range alloc.AUBases {
+		a.stats.VerifyProbes++
+		res, err := dstDTL.Access(base, false, done)
+		if err != nil {
+			verified = false
+			break
+		}
+		a.stats.VerifyLatNs += int64(res.TotalLat())
+	}
+	if !verified {
+		if err := dstDTL.DeallocateVM(vm, done); err != nil {
+			return false, fmt.Errorf("rack: rolling back failed migration of vm %d: %w", vm, err)
+		}
+		a.stats.VerifyFailures++
+		a.stats.Reroutes++
+		return false, nil
+	}
+	if err := src.DeallocateVM(vm, done); err != nil {
+		return false, fmt.Errorf("rack: releasing migrated vm %d: %w", vm, err)
+	}
+	srcExp := p.exp
+	p.exp = dst
+	a.vms[vm] = p
+	a.stats.Migrations++
+	a.stats.MigratedBytes += p.bytes
+	if err := a.maybePark(srcExp, done); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Consolidate runs one pack-policy rebalancing pass at now: the
+// least-allocated non-empty expander below the ConsolidateFraction
+// watermark becomes the donor, and its VMs (in VM-id order) migrate to the
+// most-utilized expanders that can hold them. One donor is drained per
+// call, bounding the fabric burst a single tick can issue. Under the
+// spread policy it is a no-op. Returns the number of VMs moved.
+func (a *Allocator) Consolidate(now sim.Time) (int, error) {
+	if a.f.Config().Fabric.Policy != PolicyPack {
+		return 0, nil
+	}
+	donor := -1
+	var donorBytes int64
+	capBytes := a.f.Config().Expander.Geometry.TotalBytes()
+	for x := 0; x < a.f.Config().Expanders; x++ {
+		b := a.f.Expander(x).DTL.AllocatedBytes()
+		if b == 0 || float64(b) >= ConsolidateFraction*float64(capBytes) {
+			continue
+		}
+		if donor == -1 || b < donorBytes || (b == donorBytes && x > donor) {
+			donor, donorBytes = x, b
+		}
+	}
+	if donor == -1 {
+		return 0, nil
+	}
+
+	a.ids = a.ids[:0]
+	for vm, p := range a.vms {
+		if p.exp == donor {
+			a.ids = append(a.ids, vm)
+		}
+	}
+	sort.Slice(a.ids, func(i, j int) bool { return a.ids[i] < a.ids[j] })
+
+	moved := 0
+	for _, vm := range a.ids {
+		dst := -1
+		var dstAlloc int64
+		for x := 0; x < a.f.Config().Expanders; x++ {
+			if x == donor {
+				continue
+			}
+			b := a.f.Expander(x).DTL.AllocatedBytes()
+			if a.freeBytes(x) < a.vms[vm].bytes {
+				continue
+			}
+			if dst == -1 || b > dstAlloc || (b == dstAlloc && x < dst) {
+				dst, dstAlloc = x, b
+			}
+		}
+		if dst == -1 {
+			continue // nowhere to put it; the donor keeps it
+		}
+		ok, err := a.migrate(vm, dst, now)
+		if err != nil {
+			return moved, err
+		}
+		if ok {
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+// LiveVMs reports how many VMs the allocator is tracking.
+func (a *Allocator) LiveVMs() int { return len(a.vms) }

@@ -1,0 +1,46 @@
+package rack
+
+import (
+	"testing"
+
+	"dtl/internal/core"
+	"dtl/internal/dram"
+	"dtl/internal/sim"
+)
+
+// BenchmarkFabricAccessPath measures the cross-expander foreground hit: an
+// SMC-resident access on a non-affinity expander plus the fabric hop/transfer
+// pricing and counter updates. This is the hot path every packed VM pays per
+// access, so like the core SMC-hit path it must stay allocation free.
+func BenchmarkFabricAccessPath(b *testing.B) {
+	cfg := testConfig()
+	cfg.Fabric.Policy = PolicyPack
+	f, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := NewAllocator(f)
+	// vm 1's affinity is x1; the pack policy lands it on x0, so every
+	// access below crosses the fabric.
+	x, err := a.Place(1, 0, 16*dram.MiB, 0)
+	if err != nil || x != 0 {
+		b.Fatalf("Place = x%d, %v", x, err)
+	}
+	addrs, err := f.Expander(0).DTL.VMAddresses(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := addrs[0]
+	now := sim.Time(0)
+	if _, _, err := f.Access(core.VMID(1), 0, base, false, now); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 10
+		if _, _, err := f.Access(core.VMID(1), 0, base, false, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

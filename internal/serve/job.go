@@ -12,6 +12,7 @@ import (
 	"dtl/internal/experiments"
 	"dtl/internal/fault"
 	"dtl/internal/obs"
+	"dtl/internal/rack"
 	"dtl/internal/telemetry"
 )
 
@@ -45,7 +46,14 @@ type JobSpec struct {
 	// grammar, e.g. "reserve=3;threshold=80ms".
 	Policy string `json:"policy,omitempty"`
 	// Faults holds a fault-injection spec in the internal/fault grammar.
+	// Rack experiments accept expander-scoped targets ("kill:x2/ch0/rk0").
 	Faults string `json:"faults,omitempty"`
+	// Rack is the expander count for the rack experiment; 0 keeps the
+	// experiment's default (4). Ignored by single-expander experiments.
+	Rack int `json:"rack,omitempty"`
+	// Fabric is the rack fabric cost model and placement policy in the
+	// rack.ParseFabric grammar, e.g. "hop=150ns;gbs=32;policy=pack".
+	Fabric string `json:"fabric,omitempty"`
 	// TraceFormat selects the trace artifact encoding: jsonl (default),
 	// csv, or chrome.
 	TraceFormat string `json:"trace_format,omitempty"`
@@ -92,6 +100,12 @@ func (s JobSpec) normalized() (JobSpec, error) {
 			return s, err
 		}
 	}
+	if s.Rack < 0 || s.Rack > rack.MaxExpanders {
+		return s, fmt.Errorf("rack must be in [0, %d] (0 keeps the experiment default)", rack.MaxExpanders)
+	}
+	if _, err := rack.ParseFabric(s.Fabric); err != nil {
+		return s, err
+	}
 	if s.Parallel < 0 {
 		return s, fmt.Errorf("parallel must be >= 0")
 	}
@@ -109,7 +123,9 @@ func (s JobSpec) normalized() (JobSpec, error) {
 // and Force are excluded — they shape scheduling, not output (sharded runs
 // are byte-identical to serial ones) — so two submissions that would produce
 // identical artifacts always share a digest. Only call it on normalized
-// specs, so filled defaults (seed 1, jsonl) don't split the key.
+// specs, so filled defaults (seed 1, jsonl) don't split the key. The rack
+// fields carry omitempty so specs that predate them keep their digests:
+// a zero-rack spec marshals the exact bytes it did before the fields existed.
 func (s JobSpec) digest() string {
 	c := struct {
 		Experiment  string `json:"experiment"`
@@ -118,7 +134,9 @@ func (s JobSpec) digest() string {
 		Policy      string `json:"policy"`
 		Faults      string `json:"faults"`
 		TraceFormat string `json:"trace_format"`
-	}{s.Experiment, s.Seed, s.Quick, s.Policy, s.Faults, s.TraceFormat}
+		Rack        int    `json:"rack,omitempty"`
+		Fabric      string `json:"fabric,omitempty"`
+	}{s.Experiment, s.Seed, s.Quick, s.Policy, s.Faults, s.TraceFormat, s.Rack, s.Fabric}
 	b, err := json.Marshal(c)
 	if err != nil {
 		panic(err) // fixed field set of scalar types; cannot fail

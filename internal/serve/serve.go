@@ -567,6 +567,8 @@ func (s *Server) run(j *job) {
 		LedgerPath:  ledgerPath,
 		FaultSpec:   j.spec.Faults,
 		Policy:      pol,
+		Rack:        j.spec.Rack,
+		Fabric:      j.spec.Fabric,
 		Parallel:    defaultInt(j.spec.Parallel, s.cfg.DefaultParallel),
 		Shards:      defaultInt(j.spec.Shards, s.cfg.DefaultShards),
 		Watch:       watch,

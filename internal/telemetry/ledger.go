@@ -41,10 +41,18 @@ const (
 	// CauseFaultRetry is reliability-loop work: verify-after-copy re-routes,
 	// retirement drains, and deferred-retirement backoffs.
 	CauseFaultRetry
+	// CauseFabricCopy is inter-expander segment copy traffic over the rack
+	// fabric: a rack.Allocator migration's bandwidth-shared transfer time and
+	// energy (internal/rack).
+	CauseFabricCopy
+	// CauseFabricStall is fabric latency foreground accesses pay to reach a
+	// remote expander: per-hop base cost plus the bandwidth-shared transfer
+	// component of a cross-expander access.
+	CauseFabricStall
 )
 
 // NumCauses is the number of defined causes.
-const NumCauses = int(CauseFaultRetry) + 1
+const NumCauses = int(CauseFabricStall) + 1
 
 // String spells the cause the way trace records and dtlstat render it.
 func (c Cause) String() string {
@@ -65,6 +73,10 @@ func (c Cause) String() string {
 		return "demotion-wait"
 	case CauseFaultRetry:
 		return "fault-retry"
+	case CauseFabricCopy:
+		return "fabric-copy"
+	case CauseFabricStall:
+		return "fabric-stall"
 	default:
 		return fmt.Sprintf("Cause(%d)", int(c))
 	}

@@ -1,0 +1,103 @@
+#!/bin/sh
+# Gate the rack experiment's determinism and its headline energy claim at
+# the CLI layer.
+#
+# Usage:
+#   scripts/rack_check.sh [expanders]
+#
+# Builds dtlsim and dtlstat, runs the quick 4-expander (default) rack A/B
+# three times — serial, with -parallel 4, and a plain re-run — and cmp's
+# every artifact byte for byte (the rack loop is serial by design, so the
+# -parallel knob must be inert). Then:
+#   - `dtlstat diff -share 1e-9 -attr 1e-9` on the identical re-run pair
+#     must PASS: the byte-determinism invariant restated as an attribution
+#     identity;
+#   - `dtlstat diff -attr` on the pack-vs-spread pair must FAIL: the two
+#     policies shift fabric-copy/fabric-stall attribution by design, and a
+#     diff that cannot see that shift would be blind to real regressions;
+#   - the pack leg's energy proxy must not exceed the spread leg's — the
+#     experiment's headline claim (placement density sets the
+#     background-power floor), checked from the -json metrics.
+# The in-process tests (internal/experiments/rack_test.go) cover the same
+# contracts under go test; this script covers the flag plumbing end to end.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+expanders="${1:-4}"
+
+# The flag layer caps -parallel at GOMAXPROCS; lift the cap so a single-core
+# runner still exercises the parallel scheduling path the cmp's are about.
+GOMAXPROCS=4
+export GOMAXPROCS
+
+work="$(mktemp -d)"
+sim="$work/dtlsim"
+stat="$work/dtlstat"
+trap 'rm -f -r "$work"' EXIT
+
+go build -o "$sim" ./cmd/dtlsim
+go build -o "$stat" ./cmd/dtlstat
+
+run_rack() { # dir policy extra-flags...
+    d="$1"; pol="$2"; shift 2
+    mkdir -p "$d"
+    "$sim" -exp rack -quick -rack "$expanders" -fabric "policy=$pol" "$@" \
+        -trace "$d/trace.jsonl" -trace-format jsonl \
+        -ledger "$d/ledger.json" -metrics "$d/metrics.csv" \
+        -json > "$d/result.json"
+}
+
+echo "rack_check: $expanders-expander pack run, serial vs -parallel 4 vs re-run" >&2
+run_rack "$work/pack1" pack
+run_rack "$work/pack2" pack -parallel 4
+run_rack "$work/pack3" pack
+for art in result.json trace.jsonl ledger.json metrics.csv; do
+    for other in pack2 pack3; do
+        cmp "$work/pack1/$art" "$work/$other/$art" || {
+            echo "rack_check: FAIL: $art differs between pack1 and $other" >&2
+            exit 1
+        }
+    done
+done
+
+echo "rack_check: attribution identity on the re-run pair" >&2
+"$stat" diff -share 1e-9 -attr 1e-9 \
+    "$work/pack1/trace.jsonl" "$work/pack3/trace.jsonl" > /dev/null || {
+    echo "rack_check: FAIL: identical re-runs drifted in residency or attribution" >&2
+    exit 1
+}
+
+echo "rack_check: spread leg and pack-vs-spread attribution shift" >&2
+run_rack "$work/spread" spread
+if "$stat" diff -attr 1e-9 \
+    "$work/spread/trace.jsonl" "$work/pack1/trace.jsonl" > "$work/diff.txt" 2>&1; then
+    echo "rack_check: FAIL: diff -attr saw no shift between pack and spread legs" >&2
+    cat "$work/diff.txt" >&2
+    exit 1
+fi
+grep -q 'fabric' "$work/diff.txt" || {
+    echo "rack_check: FAIL: pack-vs-spread diff does not mention the fabric causes" >&2
+    cat "$work/diff.txt" >&2
+    exit 1
+}
+
+echo "rack_check: pack <= spread on the energy proxy" >&2
+# The two -json results carry the same metrics (the A/B runs both legs);
+# read the headline pair out of the pack run's report.
+awk '
+/"energy_proxy_pack"/   { gsub(/[^0-9.eE+-]/, "", $2); pack = $2 + 0 }
+/"energy_proxy_spread"/ { gsub(/[^0-9.eE+-]/, "", $2); spread = $2 + 0 }
+END {
+    if (pack <= 0 || spread <= 0) {
+        printf "rack_check: FAIL: degenerate energy proxies pack=%g spread=%g\n", pack, spread
+        exit 1
+    }
+    if (pack > spread) {
+        printf "rack_check: FAIL: pack energy proxy %g exceeds spread %g\n", pack, spread
+        exit 1
+    }
+    printf "rack_check: pack %g <= spread %g (%.1f%% saved)\n", pack, spread, 100 * (1 - pack / spread)
+}' "$work/pack1/result.json" >&2
+
+echo "rack_check: ok — byte-identical artifacts, attribution gates behave" >&2
